@@ -1,0 +1,86 @@
+package packetshader_test
+
+import (
+	"io"
+	"testing"
+
+	"packetshader"
+	"packetshader/internal/experiments"
+)
+
+// One benchmark per table/figure of the paper: each iteration regenerates
+// the full table or figure on the simulated testbed. Run a single
+// experiment with e.g.
+//
+//	go test -bench=BenchmarkFig11aIPv4 -benchtime=1x
+//
+// and inspect the regenerated rows with cmd/psbench.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(io.Discard, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1PCIeTransfer regenerates Table 1 (PCIe transfer rates).
+func BenchmarkTable1PCIeTransfer(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkKernelLaunch regenerates the §2.2 launch-latency numbers.
+func BenchmarkKernelLaunch(b *testing.B) { benchExperiment(b, "launch") }
+
+// BenchmarkFig2IPv6Lookup regenerates Figure 2 (lookup throughput vs
+// batch size, CPU vs GPU).
+func BenchmarkFig2IPv6Lookup(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkTable3RxBreakdown regenerates Table 3 (skb RX cycle bins).
+func BenchmarkTable3RxBreakdown(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig5Batch regenerates Figure 5 (batch-size sweep).
+func BenchmarkFig5Batch(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6PacketIO regenerates Figure 6 (engine RX/TX/forwarding).
+func BenchmarkFig6PacketIO(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkNUMAPlacement regenerates the §4.5 NUMA comparison.
+func BenchmarkNUMAPlacement(b *testing.B) { benchExperiment(b, "numa") }
+
+// BenchmarkFig11aIPv4 regenerates Figure 11(a).
+func BenchmarkFig11aIPv4(b *testing.B) { benchExperiment(b, "fig11a") }
+
+// BenchmarkFig11bIPv6 regenerates Figure 11(b).
+func BenchmarkFig11bIPv6(b *testing.B) { benchExperiment(b, "fig11b") }
+
+// BenchmarkFig11cOpenFlow regenerates Figure 11(c).
+func BenchmarkFig11cOpenFlow(b *testing.B) { benchExperiment(b, "fig11c") }
+
+// BenchmarkFig11dIPsec regenerates Figure 11(d).
+func BenchmarkFig11dIPsec(b *testing.B) { benchExperiment(b, "fig11d") }
+
+// BenchmarkFig12Latency regenerates Figure 12 (latency vs offered load).
+func BenchmarkFig12Latency(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkAblationDesignChoices regenerates the §4-§5 ablations.
+func BenchmarkAblationDesignChoices(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkClusterVLB evaluates the §7 horizontal-scaling extension.
+func BenchmarkClusterVLB(b *testing.B) { benchExperiment(b, "cluster") }
+
+// BenchmarkFIBUpdate compares the §7 FIB-update strategies under churn.
+func BenchmarkFIBUpdate(b *testing.B) { benchExperiment(b, "fibupdate") }
+
+// BenchmarkRouterIPv4GPU measures a single CPU+GPU IPv4 run through the
+// public API (Gbps is reported via the experiment tables; this measures
+// simulation cost per virtual millisecond).
+func BenchmarkRouterIPv4GPU(b *testing.B) {
+	inst, err := packetshader.IPv4(20000, 1, packetshader.WithMode(packetshader.ModeGPU))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Run(1 * packetshader.Millisecond)
+	}
+}

@@ -1,0 +1,44 @@
+// Command psbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	psbench [experiment ...]
+//	psbench all
+//	psbench -list
+//
+// Experiments: table1, launch, fig2, table3, fig5, fig6, numa,
+// fig11a-fig11d, fig12, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"packetshader/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, id := range args {
+		start := time.Now()
+		if err := experiments.Run(os.Stdout, id); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,162 @@
+// Command pshader runs the PacketShader router simulation with one of
+// the paper's four applications and prints throughput, latency, and
+// framework statistics.
+//
+// Examples:
+//
+//	pshader -app ipv4 -mode gpu -size 64 -duration 20ms
+//	pshader -app ipsec -mode cpu -size 1514 -offered 5
+//	pshader -app openflow -flows 32768 -wildcards 32
+//	pshader -app ipv6 -mode gpu -opportunistic -offered 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"packetshader/internal/apps"
+	"packetshader/internal/core"
+	"packetshader/internal/model"
+	"packetshader/internal/openflow"
+	"packetshader/internal/packet"
+	"packetshader/internal/pcap"
+	"packetshader/internal/pktgen"
+	"packetshader/internal/route"
+	"packetshader/internal/sim"
+
+	lookupv4 "packetshader/internal/lookup/ipv4"
+	lookupv6 "packetshader/internal/lookup/ipv6"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "ipv4", "application: ipv4, ipv6, openflow, ipsec")
+		mode     = flag.String("mode", "gpu", "cpu (CPU-only) or gpu (CPU+GPU)")
+		size     = flag.Int("size", 64, "packet size in bytes (64-1514)")
+		offered  = flag.Float64("offered", 10, "offered load per port (Gbps)")
+		duration = flag.Duration("duration", 20*time.Millisecond, "simulated duration")
+		warmup   = flag.Duration("warmup", 10*time.Millisecond, "warmup excluded from measurement")
+		prefixes = flag.Int("prefixes", 100000, "routing-table prefixes (ipv4/ipv6)")
+		flows    = flag.Int("flows", 32768, "exact-match flows (openflow)")
+		wild     = flag.Int("wildcards", 32, "wildcard rules (openflow)")
+		streams  = flag.Int("streams", 1, "CUDA streams (concurrent copy & execution)")
+		opp      = flag.Bool("opportunistic", false, "opportunistic offloading (§7)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		pcapOut  = flag.String("pcap", "", "capture transmitted packets to this pcap file")
+		pcapN    = flag.Uint64("pcap-limit", 1000, "max packets to capture")
+	)
+	flag.Parse()
+
+	env := sim.NewEnv()
+	cfg := core.DefaultConfig()
+	cfg.PacketSize = *size
+	cfg.OfferedGbpsPerPort = *offered
+	cfg.Streams = *streams
+	cfg.OpportunisticOffload = *opp
+	switch *mode {
+	case "cpu":
+		cfg.Mode = core.ModeCPUOnly
+	case "gpu":
+		cfg.Mode = core.ModeGPU
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var app core.App
+	var src interface {
+		Fill(b *packet.Buf, port, queue int, seq uint64)
+	}
+	fmt.Fprintf(os.Stderr, "building %s tables...\n", *appName)
+	switch *appName {
+	case "ipv4":
+		entries := route.GenerateBGPTable(*prefixes, 64, *seed)
+		tbl, err := lookupv4.Build(entries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		app = &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
+		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed), Table: entries}
+	case "ipv6":
+		entries := route.GenerateIPv6Table(*prefixes, 64, *seed)
+		app = &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}
+		src = &pktgen.UDP6Source{Size: *size, Seed: uint64(*seed), Table: entries}
+	case "openflow":
+		sw := openflow.NewSwitch(*flows)
+		// A default-forward rule catches everything; exact entries are
+		// installed for the generated flows by the demo loop below.
+		for i := 0; i < *wild; i++ {
+			sw.Wildcard.Insert(openflow.Rule{
+				Wild:     openflow.WAll,
+				Priority: i,
+				Action:   openflow.Action{Type: openflow.ActionOutput, Port: uint16(i % model.NumPorts)},
+			})
+		}
+		app = apps.NewOFSwitch(sw, model.NumPorts)
+		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed)}
+	case "ipsec":
+		app = apps.NewIPsecGW(model.NumPorts)
+		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	router := core.New(env, cfg, app)
+	sink := pktgen.NewLatencySink()
+	var tap *pcap.Tap
+	if *pcapOut != "" {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tap = &pcap.Tap{W: pcap.NewWriter(f, 0), Limit: *pcapN}
+	}
+	for _, p := range router.Engine.Ports {
+		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) {
+			sink.Observe(b, at)
+			if tap != nil {
+				tap.Observe(b, at)
+			}
+		}
+	}
+	router.SetSource(src)
+	router.Start()
+
+	wu := sim.DurationFromSeconds(warmup.Seconds())
+	total := wu + sim.DurationFromSeconds(duration.Seconds())
+	env.After(wu, router.ResetMeasurement)
+	start := time.Now()
+	env.Run(sim.Time(total))
+	wall := time.Since(start)
+
+	rx, rxDropped, tx, txDropped := router.Engine.AggregateStats()
+	fmt.Printf("PacketShader %s / %s mode, %dB packets, %.1f Gbps/port offered\n",
+		app.Name(), *mode, *size, *offered)
+	fmt.Printf("  simulated %v (+%v warmup) in %v wall time\n", duration, warmup, wall.Round(time.Millisecond))
+	fmt.Printf("  throughput      %.2f Gbps delivered (%.2f Gbps input)\n",
+		router.DeliveredGbps(), router.InputGbps())
+	fmt.Printf("  packets         rx=%d rx_dropped=%d tx=%d tx_dropped=%d app_drops=%d\n",
+		rx, rxDropped, tx, txDropped, router.Stats.Drops)
+	fmt.Printf("  chunks          cpu=%d gpu=%d launches=%d\n",
+		router.Stats.ChunksCPU, router.Stats.ChunksGPU, router.Stats.GPULaunches)
+	if sink.Count > 0 {
+		fmt.Printf("  latency (us)    mean=%.0f min=%.0f p50=%.0f p99=%.0f max=%.0f\n",
+			sink.MeanMicros(), sink.MinMicros(),
+			sink.PercentileMicros(0.5), sink.PercentileMicros(0.99), sink.MaxMicros())
+	}
+	for i, dev := range router.Devices {
+		fmt.Printf("  gpu%d            launches=%d threads=%d\n", i, dev.Launches, dev.ThreadsRun)
+	}
+	if tap != nil {
+		fmt.Printf("  pcap            %d packets -> %s\n", tap.W.Packets, *pcapOut)
+		if tap.Err != nil {
+			fmt.Fprintf(os.Stderr, "pcap error: %v\n", tap.Err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package packetshader_test
+
+import (
+	"testing"
+
+	"packetshader"
+)
+
+func TestFacadeIPv4BothModes(t *testing.T) {
+	for _, mode := range []packetshader.Mode{packetshader.ModeCPUOnly, packetshader.ModeGPU} {
+		inst, err := packetshader.IPv4(5000, 3, packetshader.WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Run(2 * packetshader.Millisecond)
+		rep := inst.Run(3 * packetshader.Millisecond)
+		if rep.DeliveredGbps < 1 {
+			t.Errorf("mode %v: %.2f Gbps", mode, rep.DeliveredGbps)
+		}
+		if mode == packetshader.ModeGPU && rep.Stats.GPULaunches == 0 {
+			t.Error("GPU mode never launched")
+		}
+		if mode == packetshader.ModeCPUOnly && rep.Stats.GPULaunches != 0 {
+			t.Error("CPU mode launched kernels")
+		}
+	}
+}
+
+func TestFacadeIPv6PacketSizeOption(t *testing.T) {
+	inst := packetshader.IPv6(2000, 5,
+		packetshader.WithPacketSize(256),
+		packetshader.WithOfferedGbps(5))
+	rep := inst.Run(3 * packetshader.Millisecond)
+	if rep.DeliveredGbps <= 0 {
+		t.Errorf("delivered %.2f", rep.DeliveredGbps)
+	}
+	if rep.MeanLatencyUs <= 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+func TestFacadeIPsecStreams(t *testing.T) {
+	inst := packetshader.IPsec(7,
+		packetshader.WithPacketSize(512),
+		packetshader.WithStreams(4))
+	inst.Run(3 * packetshader.Millisecond)
+	rep := inst.Run(3 * packetshader.Millisecond)
+	if rep.InputGbps <= 0 {
+		t.Errorf("input %.2f", rep.InputGbps)
+	}
+}
+
+func TestFacadeRepeatedRunsContinue(t *testing.T) {
+	inst, err := packetshader.IPv4(2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := inst.Run(2 * packetshader.Millisecond)
+	r2 := inst.Run(2 * packetshader.Millisecond)
+	// Second window should be at least as fast (post-warmup) and the
+	// cumulative packet count must grow.
+	if r2.Stats.Packets <= r1.Stats.Packets {
+		t.Error("second run did not advance the simulation")
+	}
+}
+
+func TestFacadeOpportunisticOffload(t *testing.T) {
+	inst := packetshader.IPv6(2000, 11,
+		packetshader.WithOpportunisticOffload(),
+		packetshader.WithOfferedGbps(0.1))
+	rep := inst.Run(5 * packetshader.Millisecond)
+	if rep.Stats.ChunksCPU == 0 {
+		t.Error("opportunistic offload never used the CPU path at light load")
+	}
+}

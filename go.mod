@@ -1,0 +1,3 @@
+module packetshader
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package core implements the PacketShader framework of §5: a
+// multi-threaded router runtime where worker threads perform packet I/O
+// and the pre-/post-shading steps, and one master thread per NUMA node
+// owns the node's GPU and runs the shading step. Chunks (batches of
+// received packets) flow worker → master input queue → GPU → per-worker
+// output queue → worker, with the §5.4 optimizations: chunk pipelining,
+// gather/scatter, and concurrent copy & execution, plus the §7
+// opportunistic-offloading extension.
+package core
+
+import (
+	"packetshader/internal/hw/gpu"
+	"packetshader/internal/model"
+	"packetshader/internal/packet"
+	"packetshader/internal/pktio"
+	"packetshader/internal/sim"
+)
+
+// Mode selects CPU-only or GPU-accelerated operation (§6.1: CPU-only
+// runs four workers per node; CPU+GPU runs three workers plus a master).
+type Mode int
+
+// Operating modes.
+const (
+	ModeCPUOnly Mode = iota
+	ModeGPU
+)
+
+// Chunk is a batch of packets fetched together (§5.3): the unit of
+// worker↔master exchange and of GPU parallelism.
+type Chunk struct {
+	Bufs []*packet.Buf
+	// OutPorts holds the per-packet forwarding decision filled by
+	// post-shading (or pre-shading for CPU-only paths); -1 drops.
+	OutPorts []int
+	// Worker identifies the owning worker (for the scatter step).
+	Worker int
+	// State carries app-specific batch arrays between the steps.
+	State any
+
+	// GPU transfer/work descriptors, filled by PreShade.
+	Threads     int
+	InBytes     int
+	OutBytes    int
+	StreamBytes int
+
+	enqueued sim.Time
+}
+
+// PreResult is what an application's pre-shading step reports.
+type PreResult struct {
+	// CPUCycles consumed on the worker.
+	CPUCycles float64
+	// Threads, InBytes, OutBytes, StreamBytes describe the GPU work
+	// this chunk contributes to a launch.
+	Threads     int
+	InBytes     int
+	OutBytes    int
+	StreamBytes int
+}
+
+// App is a packet-processing application plugged into the framework via
+// the three §5.1 callbacks plus a CPU-only fallback implementation.
+// Functional work must really happen (lookups, crypto); the returned
+// cycle counts drive the virtual clock.
+type App interface {
+	Name() string
+	// Kernel returns the GPU cost profile for the shading step.
+	Kernel() *gpu.KernelSpec
+	// PreShade classifies the chunk and builds the GPU input arrays.
+	PreShade(c *Chunk) PreResult
+	// RunKernel performs the chunk's functional GPU work (called on
+	// the master inside a launch).
+	RunKernel(c *Chunk)
+	// PostShade applies kernel results to packets and fills OutPorts,
+	// returning worker cycles consumed.
+	PostShade(c *Chunk) float64
+	// CPUWork performs the kernel-equivalent work on the CPU (CPU-only
+	// mode and opportunistic offload), returning cycles consumed.
+	// PostShade still runs afterwards.
+	CPUWork(c *Chunk) float64
+}
+
+// Config configures a Router.
+type Config struct {
+	IO   pktio.Config
+	Mode Mode
+
+	// ChunkCap caps packets per chunk (§5.3: "the chunk size is not
+	// fixed but only capped").
+	ChunkCap int
+	// GatherMax bounds chunks gathered into one GPU launch (§5.4).
+	GatherMax int
+	// Pipelining enables chunk pipelining (§5.4); off, a worker waits
+	// for each chunk's results before fetching the next.
+	Pipelining bool
+	// MaxInFlight is the pipelining depth per worker.
+	MaxInFlight int
+	// Streams > 1 enables concurrent copy and execution (§5.4).
+	Streams int
+	// OpportunisticOffload processes small chunks on the CPU for low
+	// latency under light load (§7).
+	OpportunisticOffload bool
+	// OppThreshold is the chunk size at or below which opportunistic
+	// offload keeps work on the CPU.
+	OppThreshold int
+
+	// PacketSize and OfferedGbpsPerPort configure the generator-driven
+	// workload applied to every port.
+	PacketSize         int
+	OfferedGbpsPerPort float64
+}
+
+// DefaultConfig returns the paper's CPU+GPU configuration at full load.
+func DefaultConfig() Config {
+	return Config{
+		IO:                   pktio.DefaultConfig(),
+		Mode:                 ModeGPU,
+		ChunkCap:             model.MaxChunkSize,
+		GatherMax:            model.MaxGatherChunks,
+		Pipelining:           true,
+		MaxInFlight:          4,
+		Streams:              1,
+		OpportunisticOffload: false,
+		OppThreshold:         32,
+		PacketSize:           64,
+		OfferedGbpsPerPort:   10,
+	}
+}
+
+// Stats aggregates framework counters.
+type Stats struct {
+	ChunksCPU   uint64 // chunks processed on the CPU path
+	ChunksGPU   uint64 // chunks through the shading step
+	Packets     uint64
+	Drops       uint64 // dropped by application decision
+	GPULaunches uint64
+}
+
+// Router wires the engine, devices, workers and masters together.
+type Router struct {
+	Env     *sim.Env
+	Cfg     Config
+	Engine  *pktio.Engine
+	App     App
+	Devices []*gpu.Device
+
+	workers []*worker
+	masters []*master
+	Stats   Stats
+
+	start sim.Time
+	// measurement baselines (set by ResetMeasurement to exclude warmup
+	// transients from throughput figures).
+	baseWire float64
+	baseRx   uint64
+	src      any
+}
+
+// New builds the router topology: per node, CoresPerNode-1 workers and
+// one master in GPU mode, CoresPerNode workers in CPU-only mode. RX
+// queues of each node's ports are spread across that node's workers
+// (NUMA-aware; §4.5) unless the IO config says otherwise.
+func New(env *sim.Env, cfg Config, app App) *Router {
+	workersPerNode := model.CoresPerNode
+	if cfg.Mode == ModeGPU {
+		workersPerNode = model.CoresPerNode - 1
+	}
+	cfg.IO.QueuesPerPort = workersPerNode
+	if !cfg.IO.NUMAAware {
+		// NUMA-blind: queues are served by workers of both nodes.
+		cfg.IO.QueuesPerPort = workersPerNode * cfg.IO.Nodes
+	}
+	r := &Router{Env: env, Cfg: cfg, App: app, Engine: pktio.New(env, cfg.IO)}
+
+	for n := 0; n < cfg.IO.Nodes; n++ {
+		var m *master
+		if cfg.Mode == ModeGPU {
+			dev := gpu.New(env, r.Engine.IOHs[n], n)
+			r.Devices = append(r.Devices, dev)
+			m = &master{
+				router: r, node: n, dev: dev,
+				inQ: sim.NewQueue[*Chunk](env, model.InputQueueDepth),
+			}
+			r.masters = append(r.masters, m)
+		}
+		for wi := 0; wi < workersPerNode; wi++ {
+			w := &worker{
+				router: r,
+				id:     n*workersPerNode + wi,
+				node:   n,
+				master: m,
+				outQ:   sim.NewQueue[*Chunk](env, model.OutputQueueDepth),
+			}
+			r.workers = append(r.workers, w)
+		}
+	}
+	r.bindQueues(workersPerNode)
+	return r
+}
+
+// bindQueues assigns each (port, queue) pair to exactly one worker
+// (Figure 8b: virtual interfaces are not shared across cores).
+func (r *Router) bindQueues(workersPerNode int) {
+	for _, port := range r.Engine.Ports {
+		for qi := range port.Rx {
+			var w *worker
+			if r.Cfg.IO.NUMAAware {
+				// Queue qi of a node-N port goes to node-N worker qi.
+				w = r.workerAt(port.Node, qi%workersPerNode)
+			} else {
+				// Blind: round-robin across all workers regardless of
+				// node.
+				w = r.workers[qi%len(r.workers)]
+			}
+			iface := r.Engine.OpenIface(port.ID, qi, w.node)
+			w.ifaces = append(w.ifaces, iface)
+		}
+	}
+}
+
+func (r *Router) workerAt(node, idx int) *worker {
+	perNode := len(r.workers) / r.Cfg.IO.Nodes
+	return r.workers[node*perNode+idx]
+}
+
+// SetSource configures the offered load on every RX queue: each port's
+// line share is split evenly across its RSS queues.
+func (r *Router) SetSource(src interface {
+	Fill(b *packet.Buf, port, queue int, seq uint64)
+}) {
+	r.src = src
+	pps := r.Cfg.OfferedGbpsPerPort * 1e9 /
+		(float64(model.WireBytes(r.Cfg.PacketSize)) * 8)
+	for _, port := range r.Engine.Ports {
+		perQueue := pps / float64(len(port.Rx))
+		for _, q := range port.Rx {
+			q.SetOffered(perQueue, r.Cfg.PacketSize, src)
+		}
+	}
+}
+
+// Source returns the frame source installed by SetSource (nil before).
+func (r *Router) Source() any { return r.src }
+
+// Start launches all worker and master processes.
+func (r *Router) Start() {
+	r.start = r.Env.Now()
+	for _, m := range r.masters {
+		m := m
+		r.Env.Go("master", func(p *sim.Proc) { m.run(p) })
+	}
+	for _, w := range r.workers {
+		w := w
+		r.Env.Go("worker", func(p *sim.Proc) { w.run(p) })
+	}
+}
+
+// ResetMeasurement restarts the measurement window at the current
+// virtual time, discarding warmup transients (ring fill, pipeline
+// priming) from the reported throughput.
+func (r *Router) ResetMeasurement() {
+	r.start = r.Env.Now()
+	r.baseWire = r.Engine.DeliveredWire()
+	rx, _, _, _ := r.Engine.AggregateStats()
+	r.baseRx = rx
+}
+
+// DeliveredGbps reports aggregate forwarded throughput over the current
+// measurement window.
+func (r *Router) DeliveredGbps() float64 {
+	elapsed := sim.Duration(r.Env.Now() - r.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return (r.Engine.DeliveredWire() - r.baseWire) / elapsed * 10e9 / 1e9
+}
+
+// InputGbps reports the throughput metric the IPsec experiment uses
+// (§6.2.4: input bytes, since ESP grows packets): received wire Gbps of
+// packets that were *not* dropped at the RX ring.
+func (r *Router) InputGbps() float64 {
+	elapsed := sim.Duration(r.Env.Now() - r.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	rx, _, _, _ := r.Engine.AggregateStats()
+	return float64(rx-r.baseRx) * float64(model.WireBytes(r.Cfg.PacketSize)) * 8 / elapsed / 1e9
+}

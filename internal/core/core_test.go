@@ -1,0 +1,321 @@
+package core
+
+import (
+	"testing"
+
+	"packetshader/internal/hw/gpu"
+	"packetshader/internal/model"
+	"packetshader/internal/packet"
+	"packetshader/internal/sim"
+)
+
+// echoApp forwards every packet to (ingress+1) mod ports with
+// configurable CPU costs — a minimal App for framework tests.
+type echoApp struct {
+	kernel     gpu.KernelSpec
+	cpuPerPkt  float64
+	kernelRuns int
+	ports      int
+}
+
+func newEchoApp(ports int) *echoApp {
+	return &echoApp{kernel: gpu.KernelIPv4, ports: ports, cpuPerPkt: 100}
+}
+
+func (a *echoApp) Name() string            { return "echo" }
+func (a *echoApp) Kernel() *gpu.KernelSpec { return &a.kernel }
+
+func (a *echoApp) PreShade(c *Chunk) PreResult {
+	for i := range c.OutPorts {
+		c.OutPorts[i] = -2
+	}
+	n := len(c.Bufs)
+	return PreResult{CPUCycles: float64(n) * 50, Threads: n, InBytes: 4 * n, OutBytes: 2 * n}
+}
+
+func (a *echoApp) RunKernel(c *Chunk) { a.kernelRuns++ }
+
+func (a *echoApp) PostShade(c *Chunk) float64 {
+	for i, b := range c.Bufs {
+		if c.OutPorts[i] == -2 {
+			c.OutPorts[i] = (b.Port + 1) % a.ports
+		}
+	}
+	return float64(len(c.Bufs)) * 20
+}
+
+func (a *echoApp) CPUWork(c *Chunk) float64 {
+	return float64(len(c.Bufs)) * a.cpuPerPkt
+}
+
+// smallConfig is a 1-node, 2-port topology for functional tests.
+func smallConfig(mode Mode) Config {
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	cfg.IO.Nodes = 1
+	cfg.IO.Ports = 2
+	cfg.PacketSize = 64
+	cfg.OfferedGbpsPerPort = 5
+	return cfg
+}
+
+type seqSource struct{}
+
+func (seqSource) Fill(b *packet.Buf, port, queue int, seq uint64) {
+	b.Data[0] = byte(seq)
+	b.Hash = uint32(seq)
+}
+
+func runRouter(t *testing.T, cfg Config, app App, window sim.Duration) *Router {
+	t.Helper()
+	env := sim.NewEnv()
+	r := New(env, cfg, app)
+	r.SetSource(seqSource{})
+	r.Start()
+	env.Run(sim.Time(window))
+	return r
+}
+
+func TestCPUOnlyModeForwards(t *testing.T) {
+	app := newEchoApp(2)
+	r := runRouter(t, smallConfig(ModeCPUOnly), app, 2*sim.Millisecond)
+	if r.Stats.Packets == 0 {
+		t.Fatal("no packets processed")
+	}
+	if r.Stats.ChunksGPU != 0 {
+		t.Error("CPU-only mode used the GPU path")
+	}
+	if r.Stats.ChunksCPU == 0 {
+		t.Error("no CPU chunks")
+	}
+	_, _, tx, _ := r.Engine.AggregateStats()
+	if tx == 0 {
+		t.Error("nothing transmitted")
+	}
+	if g := r.DeliveredGbps(); g < 1 {
+		t.Errorf("delivered %.2f Gbps at 10 offered", g)
+	}
+}
+
+func TestCPUOnlyHasFourWorkersPerNode(t *testing.T) {
+	env := sim.NewEnv()
+	r := New(env, smallConfig(ModeCPUOnly), newEchoApp(2))
+	if len(r.workers) != model.CoresPerNode {
+		t.Errorf("workers = %d, want %d", len(r.workers), model.CoresPerNode)
+	}
+	if len(r.masters) != 0 {
+		t.Errorf("masters = %d, want 0", len(r.masters))
+	}
+}
+
+func TestGPUModeHasThreeWorkersAndMaster(t *testing.T) {
+	env := sim.NewEnv()
+	r := New(env, smallConfig(ModeGPU), newEchoApp(2))
+	if len(r.workers) != model.CoresPerNode-1 {
+		t.Errorf("workers = %d, want %d", len(r.workers), model.CoresPerNode-1)
+	}
+	if len(r.masters) != 1 || len(r.Devices) != 1 {
+		t.Errorf("masters = %d devices = %d, want 1/1", len(r.masters), len(r.Devices))
+	}
+}
+
+func TestGPUModeShadesChunks(t *testing.T) {
+	app := newEchoApp(2)
+	r := runRouter(t, smallConfig(ModeGPU), app, 2*sim.Millisecond)
+	if r.Stats.ChunksGPU == 0 || r.Stats.GPULaunches == 0 {
+		t.Fatalf("GPU path unused: %+v", r.Stats)
+	}
+	if app.kernelRuns == 0 {
+		t.Error("kernel function never ran")
+	}
+	if r.Devices[0].Launches == 0 {
+		t.Error("device recorded no launches")
+	}
+	if g := r.DeliveredGbps(); g < 1 {
+		t.Errorf("delivered %.2f Gbps", g)
+	}
+}
+
+func TestGatherScatterBatchesChunks(t *testing.T) {
+	cfg := smallConfig(ModeGPU)
+	cfg.OfferedGbpsPerPort = 10 // saturate so the input queue fills
+	app := newEchoApp(2)
+	r := runRouter(t, cfg, app, 3*sim.Millisecond)
+	if r.Stats.GPULaunches == 0 {
+		t.Fatal("no launches")
+	}
+	chunksPerLaunch := float64(r.Stats.ChunksGPU) / float64(r.Stats.GPULaunches)
+	if chunksPerLaunch < 1.5 {
+		t.Errorf("chunks/launch = %.2f; gather/scatter should batch >1 under load", chunksPerLaunch)
+	}
+}
+
+func TestNoGatherProcessesOneChunkPerLaunch(t *testing.T) {
+	cfg := smallConfig(ModeGPU)
+	cfg.GatherMax = 1
+	r := runRouter(t, cfg, newEchoApp(2), 2*sim.Millisecond)
+	if r.Stats.ChunksGPU != r.Stats.GPULaunches {
+		t.Errorf("chunks %d != launches %d with gather disabled",
+			r.Stats.ChunksGPU, r.Stats.GPULaunches)
+	}
+}
+
+func TestOpportunisticOffloadLightLoad(t *testing.T) {
+	cfg := smallConfig(ModeGPU)
+	cfg.OpportunisticOffload = true
+	cfg.OppThreshold = 64
+	cfg.OfferedGbpsPerPort = 0.05 // very light: tiny chunks
+	r := runRouter(t, cfg, newEchoApp(2), 5*sim.Millisecond)
+	if r.Stats.ChunksCPU == 0 {
+		t.Error("light load never processed on CPU")
+	}
+	if r.Stats.ChunksGPU > r.Stats.ChunksCPU/10 {
+		t.Errorf("GPU chunks %d vs CPU %d under light load", r.Stats.ChunksGPU, r.Stats.ChunksCPU)
+	}
+}
+
+func TestOpportunisticOffloadHeavyLoadUsesGPU(t *testing.T) {
+	cfg := smallConfig(ModeGPU)
+	cfg.OpportunisticOffload = true
+	cfg.OppThreshold = 16
+	cfg.OfferedGbpsPerPort = 10
+	r := runRouter(t, cfg, newEchoApp(2), 3*sim.Millisecond)
+	if r.Stats.ChunksGPU == 0 {
+		t.Error("heavy load never reached the GPU")
+	}
+}
+
+func TestDropsCounted(t *testing.T) {
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeCPUOnly)
+	dropApp := &droppingApp{echoApp: app}
+	r := runRouter(t, cfg, dropApp, 2*sim.Millisecond)
+	if r.Stats.Drops == 0 {
+		t.Error("no drops recorded")
+	}
+	_, _, tx, _ := r.Engine.AggregateStats()
+	if tx != 0 {
+		t.Errorf("dropping app transmitted %d packets", tx)
+	}
+}
+
+type droppingApp struct{ *echoApp }
+
+func (a *droppingApp) PostShade(c *Chunk) float64 {
+	for i := range c.OutPorts {
+		c.OutPorts[i] = -1
+	}
+	return 0
+}
+
+func TestPerQueueOrderPreserved(t *testing.T) {
+	for _, mode := range []Mode{ModeCPUOnly, ModeGPU} {
+		env := sim.NewEnv()
+		cfg := smallConfig(mode)
+		r := New(env, cfg, newEchoApp(2))
+		r.SetSource(seqSource{})
+		type key struct{ port, queue int }
+		last := map[key]sim.Time{}
+		violations := 0
+		for _, p := range r.Engine.Ports {
+			p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) {
+				k := key{b.Port, b.Queue}
+				if b.GenAt < last[k] {
+					violations++
+				}
+				last[k] = b.GenAt
+			}
+		}
+		r.Start()
+		env.Run(sim.Time(3 * sim.Millisecond))
+		if violations > 0 {
+			t.Errorf("mode %v: %d per-queue order violations (§5.3 FIFO broken)", mode, violations)
+		}
+		if len(last) == 0 {
+			t.Errorf("mode %v: no completions observed", mode)
+		}
+	}
+}
+
+func TestPipeliningImprovesThroughputWhenGPUSlow(t *testing.T) {
+	// With a slow kernel and no pipelining, workers idle while the
+	// master shades; pipelining overlaps the two (§5.4, Figure 10a).
+	mk := func(pipeline bool) float64 {
+		cfg := smallConfig(ModeGPU)
+		cfg.Pipelining = pipeline
+		cfg.OfferedGbpsPerPort = 10
+		app := newEchoApp(2)
+		app.kernel = gpu.KernelIPv6 // heavier kernel
+		r := runRouter(t, cfg, app, 5*sim.Millisecond)
+		return r.DeliveredGbps()
+	}
+	with, without := mk(true), mk(false)
+	if with <= without {
+		t.Errorf("pipelining %.2f Gbps ≤ no pipelining %.2f", with, without)
+	}
+}
+
+func TestWorkersRetireWithoutLoad(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := smallConfig(ModeCPUOnly)
+	r := New(env, cfg, newEchoApp(2))
+	// No SetSource: queues have no offered load.
+	r.Start()
+	end := env.Run(sim.Time(sim.Second))
+	if end > sim.Time(10*sim.Microsecond) {
+		t.Errorf("idle router kept the clock running until %v", end)
+	}
+}
+
+func TestInputGbpsMetric(t *testing.T) {
+	cfg := smallConfig(ModeCPUOnly)
+	r := runRouter(t, cfg, newEchoApp(2), 2*sim.Millisecond)
+	in := r.InputGbps()
+	if in <= 0 || in > 2*cfg.OfferedGbpsPerPort*float64(cfg.IO.Ports) {
+		t.Errorf("input metric %.2f Gbps implausible", in)
+	}
+}
+
+// TestPacketConservation checks the pipeline never loses or duplicates
+// packets: every fetched packet is transmitted, dropped by the app, or
+// still in flight inside the bounded pipeline when the clock stops.
+func TestPacketConservation(t *testing.T) {
+	for _, mode := range []Mode{ModeCPUOnly, ModeGPU} {
+		for _, offered := range []float64{0.5, 5, 10} {
+			cfg := smallConfig(mode)
+			cfg.OfferedGbpsPerPort = offered
+			app := newEchoApp(2)
+			r := runRouter(t, cfg, app, 3*sim.Millisecond)
+			rx, _, tx, txDropped := r.Engine.AggregateStats()
+			accounted := tx + txDropped + r.Stats.Drops
+			if accounted > rx {
+				t.Fatalf("mode %v offered %v: accounted %d > fetched %d (duplication)",
+					mode, offered, accounted, rx)
+			}
+			// In-flight bound: chunks queued in the pipeline plus one
+			// in-progress chunk per worker and per master.
+			workers := len(r.workers)
+			maxInflight := uint64((workers*(cfg.MaxInFlight+2) +
+				len(r.masters)*cfg.GatherMax + len(r.masters)*model.InputQueueDepth) *
+				cfg.ChunkCap)
+			if rx-accounted > maxInflight {
+				t.Errorf("mode %v offered %v: %d packets unaccounted (> pipeline bound %d)",
+					mode, offered, rx-accounted, maxInflight)
+			}
+		}
+	}
+}
+
+// TestBufPoolBoundedUnderLoad: the buffer pool must not grow without
+// bound (the huge-packet-buffer property at the system level).
+func TestBufPoolBoundedUnderLoad(t *testing.T) {
+	cfg := smallConfig(ModeGPU)
+	cfg.OfferedGbpsPerPort = 10
+	r := runRouter(t, cfg, newEchoApp(2), 5*sim.Millisecond)
+	// Bound: pipeline capacity (chunks in flight) × chunk size plus the
+	// per-queue fetch working set.
+	bound := (len(r.workers)*(cfg.MaxInFlight+2) + model.InputQueueDepth + model.OutputQueueDepth) * cfg.ChunkCap * 4
+	if r.Engine.Pool.Allocs > bound {
+		t.Errorf("pool allocated %d cells, bound %d: leak through the pipeline", r.Engine.Pool.Allocs, bound)
+	}
+}

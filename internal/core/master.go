@@ -1,0 +1,58 @@
+package core
+
+import (
+	"packetshader/internal/hw/gpu"
+	"packetshader/internal/model"
+	"packetshader/internal/sim"
+)
+
+// master is the per-node GPU proxy thread (§5.1): workers never touch
+// the device; the master gathers their chunks, drives the GPU, and
+// scatters results back. The master deliberately does not read the
+// chunk payloads (§5.3: avoiding cache migration) — it only initiates
+// DMA, which the gpu.Device models.
+type master struct {
+	router *Router
+	node   int
+	dev    *gpu.Device
+	inQ    *sim.Queue[*Chunk]
+}
+
+func (m *master) run(p *sim.Proc) {
+	r := m.router
+	for {
+		first := m.inQ.Get(p)
+		chunks := []*Chunk{first}
+		if r.Cfg.GatherMax > 1 {
+			// Gather (§5.4): take whatever else is already queued.
+			chunks = append(chunks, m.inQ.DrainUpTo(r.Cfg.GatherMax-1)...)
+		}
+		var threads, inB, outB, strB int
+		for _, c := range chunks {
+			threads += c.Threads
+			inB += c.InBytes
+			outB += c.OutBytes
+			strB += c.StreamBytes
+		}
+		fn := func() {
+			for _, c := range chunks {
+				r.App.RunKernel(c)
+			}
+		}
+		spec := r.App.Kernel()
+		if r.Cfg.Streams > 1 {
+			m.dev.LaunchStreams(p, spec, r.Cfg.Streams, threads, inB, outB, strB, fn)
+		} else {
+			m.dev.Launch(p, spec, threads, inB, outB, strB, fn)
+		}
+		r.Stats.GPULaunches++
+		r.Stats.ChunksGPU += uint64(len(chunks))
+		// Scatter (§5.4): results go to each chunk's own worker output
+		// queue, avoiding 1-to-N sharing.
+		for _, c := range chunks {
+			m.router.workers[c.Worker].outQ.Put(p, c)
+		}
+	}
+}
+
+func simCycles(c float64) sim.Duration { return model.Cycles(c) }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"packetshader/internal/packet"
+	"packetshader/internal/pktio"
+	"packetshader/internal/sim"
+)
+
+// worker is one hard-affinitized worker thread (§5.1): it owns a set of
+// virtual interfaces (its RX queues), performs pre- and post-shading,
+// and exchanges chunks with its node's master.
+type worker struct {
+	router *Router
+	id     int
+	node   int
+	ifaces []*pktio.Iface
+	rr     int // round-robin cursor over ifaces (§5.2: fairness)
+
+	master *master
+	outQ   *sim.Queue[*Chunk] // results returned by the master
+
+	inflight int
+}
+
+func (w *worker) maxInflight() int {
+	if !w.router.Cfg.Pipelining {
+		return 1
+	}
+	if w.router.Cfg.MaxInFlight > 0 {
+		return w.router.Cfg.MaxInFlight
+	}
+	return 4
+}
+
+func (w *worker) run(p *sim.Proc) {
+	gpuMode := w.router.Cfg.Mode == ModeGPU && w.master != nil
+	for {
+		// 1. Finish any chunks the master has returned.
+		for {
+			c, ok := w.outQ.TryGet()
+			if !ok {
+				break
+			}
+			w.inflight--
+			w.finish(p, c)
+		}
+		// 2. Fetch and process a new chunk if the pipeline has room.
+		if !gpuMode || w.inflight < w.maxInflight() {
+			if c := w.fetchChunk(p); c != nil {
+				pre := w.router.App.PreShade(c)
+				c.Threads = pre.Threads
+				c.InBytes = pre.InBytes
+				c.OutBytes = pre.OutBytes
+				c.StreamBytes = pre.StreamBytes
+				p.Sleep(cycles(pre.CPUCycles))
+				offload := gpuMode && pre.Threads > 0
+				if offload && w.router.Cfg.OpportunisticOffload &&
+					len(c.Bufs) <= w.router.Cfg.OppThreshold {
+					// §7: light load — keep the work on the CPU for
+					// latency.
+					offload = false
+				}
+				if offload {
+					c.enqueued = p.Now()
+					w.inflight++
+					w.master.inQ.Put(p, c) // blocks when full: backpressure
+				} else {
+					p.Sleep(cycles(w.router.App.CPUWork(c)))
+					w.router.Stats.ChunksCPU++
+					w.finish(p, c)
+				}
+				continue
+			}
+		}
+		// 3. Nothing fetched: wait for results or for packets.
+		if w.inflight > 0 {
+			c := w.outQ.Get(p)
+			w.inflight--
+			w.finish(p, c)
+			continue
+		}
+		if !w.waitAny(p) {
+			return // no offered load anywhere: worker retires
+		}
+	}
+}
+
+// fetchChunk builds one chunk by polling the worker's interfaces
+// round-robin, starting after the last one served (§5.2 fairness). The
+// chunk takes whatever the first non-empty queue has, up to the cap —
+// "we do not intentionally wait for the fixed number of packets" (§5.3).
+func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
+	cap := w.router.Cfg.ChunkCap
+	for i := 0; i < len(w.ifaces); i++ {
+		f := w.ifaces[w.rr]
+		w.rr = (w.rr + 1) % len(w.ifaces)
+		bufs := f.FetchChunk(p, cap, nil)
+		if len(bufs) == 0 {
+			continue
+		}
+		c := &Chunk{
+			Bufs:     bufs,
+			OutPorts: make([]int, len(bufs)),
+			Worker:   w.id,
+		}
+		w.router.Stats.Packets += uint64(len(bufs))
+		return c
+	}
+	return nil
+}
+
+// finish runs post-shading and transmits the chunk, splitting packets
+// by destination port (§5.3).
+func (w *worker) finish(p *sim.Proc, c *Chunk) {
+	p.Sleep(cycles(w.router.App.PostShade(c)))
+	// Group by output port, preserving FIFO order within the chunk.
+	byPort := map[int][]*packet.Buf{}
+	var order []int
+	for i, b := range c.Bufs {
+		port := c.OutPorts[i]
+		if port < 0 || port >= len(w.router.Engine.Ports) {
+			w.router.Stats.Drops++
+			b.Release()
+			continue
+		}
+		if _, ok := byPort[port]; !ok {
+			order = append(order, port)
+		}
+		byPort[port] = append(byPort[port], b)
+	}
+	for _, port := range order {
+		w.router.Engine.Send(p, w.node, port, byPort[port])
+	}
+}
+
+// waitAny blocks until any of the worker's queues can produce a packet,
+// re-enabling interrupts as §5.2 describes. Returns false if no queue
+// has offered load.
+func (w *worker) waitAny(p *sim.Proc) bool {
+	best, ok := sim.Duration(0), false
+	for _, f := range w.ifaces {
+		if d, alive := f.Queue.TimeToPacket(); alive {
+			if !ok || d < best {
+				best = d
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	p.Sleep(best + w.ifaces[0].Queue.Moderation)
+	return true
+}
+
+func cycles(c float64) sim.Duration {
+	if c <= 0 {
+		return 0
+	}
+	return simCycles(c)
+}

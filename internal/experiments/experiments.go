@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (plus the §2 microbenchmarks and the §4/§5 ablations) on
+// the simulated testbed. Each experiment returns a Result whose rows
+// mirror the series the paper reports, annotated with the paper's
+// numbers where it states them, so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"packetshader/internal/lookup/ipv4"
+	"packetshader/internal/lookup/ipv6"
+	"packetshader/internal/route"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a footnote (typically the paper's reference numbers).
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the result as an aligned text table.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				sb.WriteString(fmt.Sprintf("%-*s  ", widths[i], c))
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Registry maps experiment IDs to their drivers, in paper order.
+var Registry = []struct {
+	ID  string
+	Run func() *Result
+}{
+	{"table1", Table1},
+	{"launch", LaunchLatency},
+	{"fig2", Fig2},
+	{"table3", Table3},
+	{"fig5", Fig5},
+	{"fig6", Fig6},
+	{"numa", NUMA},
+	{"fig11a", Fig11a},
+	{"fig11b", Fig11b},
+	{"fig11c", Fig11c},
+	{"fig11d", Fig11d},
+	{"fig12", Fig12},
+	{"ablation", Ablation},
+	{"cluster", Cluster},
+	{"fibupdate", FIBUpdate},
+}
+
+// Run executes the experiment with the given ID (or all of them for
+// "all"), printing to w. Unknown IDs return an error.
+func Run(w io.Writer, id string) error {
+	if id == "all" {
+		for _, e := range Registry {
+			e.Run().Print(w)
+		}
+		return nil
+	}
+	for _, e := range Registry {
+		if e.ID == id {
+			e.Run().Print(w)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (use one of: %s, or all)", id, ids())
+}
+
+func ids() string {
+	var s []string
+	for _, e := range Registry {
+		s = append(s, e.ID)
+	}
+	return strings.Join(s, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: the big routing tables are expensive to build, so
+// they are constructed once and shared across experiments.
+// ---------------------------------------------------------------------------
+
+var (
+	bgpOnce    sync.Once
+	bgpEntries []route.Entry
+	bgpTable   *ipv4.Table
+
+	v6Once    sync.Once
+	v6Entries []route.Entry6
+	v6Table   *ipv6.Table
+)
+
+// BGPFixture returns the paper-scale IPv4 table (282,797 prefixes,
+// §6.2.1) and its DIR-24-8 build.
+func BGPFixture() ([]route.Entry, *ipv4.Table) {
+	bgpOnce.Do(func() {
+		bgpEntries = route.GenerateBGPTable(route.BGPTableSize, 64, 2009)
+		var err error
+		bgpTable, err = ipv4.Build(bgpEntries)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return bgpEntries, bgpTable
+}
+
+// IPv6Fixture returns the 200,000-prefix IPv6 table (§6.2.2).
+func IPv6Fixture() ([]route.Entry6, *ipv6.Table) {
+	v6Once.Do(func() {
+		v6Entries = route.GenerateIPv6Table(200000, 64, 2010)
+		v6Table = ipv6.Build(v6Entries)
+	})
+	return v6Entries, v6Table
+}

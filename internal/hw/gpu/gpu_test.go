@@ -1,0 +1,264 @@
+package gpu
+
+import (
+	"testing"
+
+	"packetshader/internal/hw/pcie"
+	"packetshader/internal/model"
+	"packetshader/internal/sim"
+)
+
+func newDevice(env *sim.Env) *Device {
+	return New(env, pcie.NewIOH(env, 0), 0)
+}
+
+func TestLaunchRunsKernelFunction(t *testing.T) {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	ran := false
+	env.Go("master", func(p *sim.Proc) {
+		dev.Launch(p, &KernelIPv4, 64, 256, 128, 0, func() { ran = true })
+	})
+	env.Run(0)
+	if !ran {
+		t.Error("kernel function not executed")
+	}
+	if dev.Launches != 1 || dev.ThreadsRun != 64 {
+		t.Errorf("stats = %d launches, %d threads", dev.Launches, dev.ThreadsRun)
+	}
+}
+
+func TestLaunchZeroThreadsFree(t *testing.T) {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	var dur sim.Duration
+	env.Go("master", func(p *sim.Proc) {
+		dur = dev.Launch(p, &KernelIPv4, 0, 0, 0, 0, nil)
+	})
+	env.Run(0)
+	if dur != 0 || dev.Launches != 0 {
+		t.Errorf("empty launch cost %v", dur)
+	}
+}
+
+// ipv6Rate measures end-to-end GPU IPv6 lookup throughput at one batch
+// size, replicating the Figure 2 microbenchmark: copy 16B addresses in,
+// run the kernel, copy 2B results out, synchronize.
+func ipv6Rate(batch int) float64 {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	const reps = 20
+	var total sim.Duration
+	env.Go("master", func(p *sim.Proc) {
+		for i := 0; i < reps; i++ {
+			total += dev.Launch(p, &KernelIPv6, batch, batch*16, batch*2, 0, nil)
+		}
+	})
+	env.Run(0)
+	return float64(batch*reps) / total.Seconds()
+}
+
+// cpuRateX5550 is the modelled one-socket CPU lookup rate (Figure 2's
+// CPU line).
+func cpuRateX5550() float64 {
+	perLookup := float64(model.IPv6LookupProbes) *
+		(model.MemAccessCycles() + model.IPv6LookupComputeCycles)
+	return 4 * model.CPUFreqHz / perLookup
+}
+
+func TestFig2ThroughputGrowsWithBatch(t *testing.T) {
+	prev := 0.0
+	for _, b := range []int{32, 64, 128, 256, 512, 1024, 4096} {
+		r := ipv6Rate(b)
+		if r <= prev {
+			t.Errorf("rate(%d) = %.1f M/s not greater than rate at previous batch %.1f", b, r/1e6, prev/1e6)
+		}
+		prev = r
+	}
+}
+
+func TestFig2CrossoverOneCPU(t *testing.T) {
+	// §2.3: the GPU passes one X5550 with more than ~320 packets per
+	// batch. Allow 256-512 for the crossover point.
+	cpu := cpuRateX5550()
+	if r := ipv6Rate(192); r >= cpu {
+		t.Errorf("GPU already beats CPU at batch 192: %.1f vs %.1f M/s", r/1e6, cpu/1e6)
+	}
+	if r := ipv6Rate(512); r <= cpu {
+		t.Errorf("GPU still behind CPU at batch 512: %.1f vs %.1f M/s", r/1e6, cpu/1e6)
+	}
+}
+
+func TestFig2CrossoverTwoCPUs(t *testing.T) {
+	// §2.3: passes two X5550s with more than ~640 packets.
+	twoCPUs := 2 * cpuRateX5550()
+	if r := ipv6Rate(384); r >= twoCPUs {
+		t.Errorf("GPU beats 2 CPUs at batch 384: %.1f vs %.1f M/s", r/1e6, twoCPUs/1e6)
+	}
+	if r := ipv6Rate(1536); r <= twoCPUs {
+		t.Errorf("GPU behind 2 CPUs at batch 1536: %.1f vs %.1f M/s", r/1e6, twoCPUs/1e6)
+	}
+}
+
+func TestFig2PeakAboutTenCPUs(t *testing.T) {
+	// §2.3: "at the peak performance one GTX480 is comparable to about
+	// ten X5550 processors."
+	peak := ipv6Rate(65536)
+	ratio := peak / cpuRateX5550()
+	if ratio < 6.5 || ratio > 13 {
+		t.Errorf("GPU peak = %.1f× one X5550, want ≈10×", ratio)
+	}
+}
+
+func TestExecTimeLatencyFloorSmallBatches(t *testing.T) {
+	// A tiny launch is bounded by the dependent-access chain, not
+	// throughput terms.
+	one := KernelIPv6.ExecTime(1, 0)
+	floor := sim.Duration(7 * model.GPUDevMemLatencyNs * float64(sim.Nanosecond))
+	if one < floor*9/10 {
+		t.Errorf("exec(1) = %v below the latency floor %v", one, floor)
+	}
+	// 32 threads still ride the same floor (one warp).
+	if KernelIPv6.ExecTime(32, 0) > one*11/10 {
+		t.Error("one warp should cost about the same as one thread")
+	}
+}
+
+func TestExecTimeScalesBeyondResidency(t *testing.T) {
+	resident := model.GPUSMs * model.GPUMaxWarpsPerSM * model.GPUWarpSize
+	small := KernelIPv6.ExecTime(resident, 0)
+	big := KernelIPv6.ExecTime(resident*4, 0)
+	if big < small*3 {
+		t.Errorf("4× threads beyond residency: %v vs %v, want ≈4×", big, small)
+	}
+}
+
+func TestLaunchLatencyAppearsInRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	var dur sim.Duration
+	env.Go("m", func(p *sim.Proc) {
+		dur = dev.Launch(p, &KernelIPv4, 1, 4, 2, 0, nil)
+	})
+	env.Run(0)
+	// Must include at least launch base + both PCIe α + sync.
+	minimum := sim.Duration((model.GPULaunchBaseNs + model.PCIeH2DAlphaNs +
+		model.PCIeD2HAlphaNs + model.GPUSyncOverheadNs) * float64(sim.Nanosecond))
+	if dur < minimum {
+		t.Errorf("round trip %v below fixed-cost floor %v", dur, minimum)
+	}
+}
+
+func TestIPsecKernelStreamBound(t *testing.T) {
+	// Large packets: the cipher byte rate dominates. 1000 packets of
+	// 1560B ≈ 1.56MB at 2.2 GB/s ≈ 709 µs.
+	d := KernelIPsec.ExecTime(1000, 1000*1560)
+	want := sim.DurationFromSeconds(1000 * 1560 / model.GPUIPsecBytesPerSec)
+	if d < want || d > want*12/10 {
+		t.Errorf("ipsec exec = %v, want ≈%v (stream bound)", d, want)
+	}
+}
+
+func TestIPsecKernelPerPacketBound(t *testing.T) {
+	// Tiny packets: the per-packet serial component dominates.
+	d := KernelIPsec.ExecTime(10000, 10000*64)
+	perPkt := sim.DurationFromSeconds(10000 * model.GPUIPsecPerPacketNs * 1e-9)
+	if d < perPkt {
+		t.Errorf("ipsec exec = %v, want ≥ per-packet bound %v", d, perPkt)
+	}
+}
+
+func TestScaledBy(t *testing.T) {
+	k := KernelOpenFlowWildcard.ScaledBy(1000)
+	if k.RandomAccesses != KernelOpenFlowWildcard.RandomAccesses*1000 {
+		t.Error("ScaledBy did not scale accesses")
+	}
+	if k.ComputeCycles != KernelOpenFlowWildcard.ComputeCycles*1000 {
+		t.Error("ScaledBy did not scale compute")
+	}
+	// Original untouched (value receiver).
+	if KernelOpenFlowWildcard.RandomAccesses != 0.25 {
+		t.Error("ScaledBy mutated the prototype")
+	}
+}
+
+func TestStreamsOverlapHelpsHeavyKernel(t *testing.T) {
+	// Concurrent copy & execution (§5.4): for a copy-heavy workload the
+	// streamed launch must beat the serialized one.
+	const threads = 8192
+	const bytes = threads * 1600
+	run := func(streams int) sim.Duration {
+		env := sim.NewEnv()
+		dev := newDevice(env)
+		var dur sim.Duration
+		env.Go("m", func(p *sim.Proc) {
+			if streams <= 1 {
+				dur = dev.Launch(p, &KernelIPsec, threads, bytes, bytes, bytes, nil)
+			} else {
+				dur = dev.LaunchStreams(p, &KernelIPsec, streams, threads, bytes, bytes, bytes, nil)
+			}
+		})
+		env.Run(0)
+		return dur
+	}
+	serial := run(1)
+	overlapped := run(4)
+	if overlapped >= serial {
+		t.Errorf("4 streams (%v) not faster than serial (%v)", overlapped, serial)
+	}
+}
+
+func TestStreamsHurtLightKernel(t *testing.T) {
+	// §5.4: "using multiple streams significantly degrades the
+	// performance of lightweight kernels, such as IPv4 table lookup" —
+	// the per-stream overhead outweighs the overlap.
+	const threads = 256
+	run := func(streams int) sim.Duration {
+		env := sim.NewEnv()
+		dev := newDevice(env)
+		var dur sim.Duration
+		env.Go("m", func(p *sim.Proc) {
+			dur = dev.LaunchStreams(p, &KernelIPv4, streams, threads, threads*4, threads*2, 0, nil)
+		})
+		env.Run(0)
+		return dur
+	}
+	if one, four := run(1), run(4); four <= one {
+		t.Errorf("4 streams (%v) unexpectedly beat 1 (%v) for a light kernel", four, one)
+	}
+}
+
+func TestDivergencePenaltyOnComputeBoundKernel(t *testing.T) {
+	// A compute-heavy kernel (e.g. differentiated packet processing
+	// with per-packet cipher suites, §5.5) pays for warp divergence;
+	// sorting packets into uniform warps (factor 1) removes it.
+	base := KernelSpec{Name: "cipher", ComputeCycles: 5000}
+	diverged := base
+	diverged.DivergenceFactor = 2 // both sides of one branch
+	uniform := base.ExecTime(10000, 0)
+	split := diverged.ExecTime(10000, 0)
+	if split < uniform*19/10 {
+		t.Errorf("divergence x2: %v vs %v, want ≈2x on a compute-bound kernel", split, uniform)
+	}
+}
+
+func TestDivergenceIrrelevantForMemoryBoundKernel(t *testing.T) {
+	// The lookup kernels are memory-bound: divergence must not change
+	// their cost (the SIMT masking overlaps with memory stalls).
+	diverged := KernelIPv6
+	diverged.DivergenceFactor = 4
+	a := KernelIPv6.ExecTime(65536, 0)
+	b := diverged.ExecTime(65536, 0)
+	if b != a {
+		t.Errorf("memory-bound kernel slowed by divergence: %v vs %v", b, a)
+	}
+}
+
+func TestDivergenceZeroTreatedAsOne(t *testing.T) {
+	k := KernelSpec{ComputeCycles: 1000}
+	k2 := k
+	k2.DivergenceFactor = 1
+	if k.ExecTime(1000, 0) != k2.ExecTime(1000, 0) {
+		t.Error("zero divergence factor differs from 1")
+	}
+}

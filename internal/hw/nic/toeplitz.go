@@ -1,0 +1,59 @@
+// Package nic models the Intel 82599 10GbE ports of the testbed: RX
+// descriptor rings fed by a fluid arrival process (so multi-10G rates
+// simulate cheaply), Receive-Side Scaling with a real Toeplitz hash,
+// interrupt/poll switching with moderation, and TX serialization at line
+// rate including the 24B Ethernet overhead.
+package nic
+
+import "encoding/binary"
+
+// DefaultRSSKey is the 40-byte Toeplitz key from Microsoft's RSS
+// specification (the key the ixgbe driver programs by default).
+var DefaultRSSKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// ToeplitzHash computes the RSS hash of input under key (input is the
+// concatenated 5-tuple fields in network order, per the RSS spec). For
+// each set bit i of the input (MSB first), the 32-bit key window
+// starting at bit i is XORed into the result.
+func ToeplitzHash(key []byte, input []byte) uint32 {
+	keyBit := func(i int) uint64 {
+		if i >= len(key)*8 {
+			return 0
+		}
+		return uint64(key[i/8]>>(7-i%8)) & 1
+	}
+	// window holds key bits [k, k+64) while consuming input bit k.
+	var window uint64
+	for i := 0; i < 64; i++ {
+		window = window<<1 | keyBit(i)
+	}
+	var result uint32
+	k := 0
+	for _, b := range input {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<bit) != 0 {
+				result ^= uint32(window >> 32)
+			}
+			window = window<<1 | keyBit(k+64)
+			k++
+		}
+	}
+	return result
+}
+
+// RSSHashIPv4 computes the RSS hash over the IPv4/UDP-or-TCP 5-tuple
+// (12-byte input: src IP, dst IP, src port, dst port).
+func RSSHashIPv4(key []byte, srcIP, dstIP uint32, srcPort, dstPort uint16) uint32 {
+	var in [12]byte
+	binary.BigEndian.PutUint32(in[0:4], srcIP)
+	binary.BigEndian.PutUint32(in[4:8], dstIP)
+	binary.BigEndian.PutUint16(in[8:10], srcPort)
+	binary.BigEndian.PutUint16(in[10:12], dstPort)
+	return ToeplitzHash(key, in[:])
+}

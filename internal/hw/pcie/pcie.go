@@ -1,0 +1,144 @@
+// Package pcie models the server's I/O fabric (Figure 3): per-node Intel
+// 5520 I/O hubs with the dual-IOH throughput asymmetry of §3.2, and
+// per-device PCIe links with the α+size/β transfer-time model fitted to
+// Table 1. The IOH is the resource whose saturation produces the paper's
+// ≈40 Gbps forwarding plateau (§4.6) and the 20 Gbps IPsec plateau
+// (§6.3).
+//
+// Each hub has two directional engines: up (device→host: RX DMA, GPU
+// device-to-host copies) at 30 Gbps and down (host→device: TX DMA, GPU
+// host-to-device copies) at 60 Gbps. Down transfers additionally consume
+// up capacity (completion/credit traffic on the congested return path —
+// the dual-IOH erratum), with coupling factor model.IOHKappa. NIC DMA
+// queues FIFO on the engines (it is the throttle point); GPU copies use
+// "express" service — PCIe TLP arbitration interleaves their small
+// transfers long before a bulk DMA train drains — which reserves the
+// same capacity but does not wait behind the NIC backlog.
+package pcie
+
+import (
+	"packetshader/internal/model"
+	"packetshader/internal/sim"
+)
+
+// IOH is one I/O hub.
+type IOH struct {
+	Node int
+	up   *sim.Server
+	down *sim.Server
+}
+
+// NewIOH creates the hub for a NUMA node.
+func NewIOH(env *sim.Env, node int) *IOH {
+	return &IOH{
+		Node: node,
+		up:   sim.NewServer(env, "ioh-up"),
+		down: sim.NewServer(env, "ioh-down"),
+	}
+}
+
+func upTime(bytes int) sim.Duration {
+	return sim.DurationFromSeconds(float64(bytes) / model.IOHUpBps)
+}
+
+func downTime(bytes int) sim.Duration {
+	return sim.DurationFromSeconds(float64(bytes) / model.IOHDownBps)
+}
+
+// ScheduleUp reserves FIFO fabric time for a device→host transfer and
+// returns its completion time.
+func (i *IOH) ScheduleUp(bytes int) sim.Time {
+	return i.up.Schedule(upTime(bytes))
+}
+
+// ScheduleDown reserves FIFO fabric time for a host→device transfer.
+// The coupled return-path cost is charged to the up engine.
+func (i *IOH) ScheduleDown(bytes int) sim.Time {
+	i.up.Schedule(sim.Duration(model.IOHKappa * float64(upTime(bytes))))
+	return i.down.Schedule(downTime(bytes))
+}
+
+// ExpressUp reserves up capacity but completes after just the service
+// time (interleaved arbitration: no waiting behind bulk NIC DMA).
+func (i *IOH) ExpressUp(bytes int) sim.Time {
+	t := upTime(bytes)
+	i.up.Schedule(t)
+	return i.up.Now() + sim.Time(t)
+}
+
+// ExpressDown is the host→device express path.
+func (i *IOH) ExpressDown(bytes int) sim.Time {
+	i.up.Schedule(sim.Duration(model.IOHKappa * float64(upTime(bytes))))
+	t := downTime(bytes)
+	i.down.Schedule(t)
+	return i.down.Now() + sim.Time(t)
+}
+
+// UpUtilization and DownUtilization report engine utilization since t0
+// (may exceed 1 transiently: reservations count when scheduled).
+func (i *IOH) UpUtilization(t0 sim.Time) float64   { return i.up.Utilization(t0) }
+func (i *IOH) DownUtilization(t0 sim.Time) float64 { return i.down.Utilization(t0) }
+
+// UpBusy exposes cumulative up-engine work (tests).
+func (i *IOH) UpBusy() sim.Duration { return i.up.BusyTime() }
+
+// DownBusy exposes cumulative down-engine work (tests).
+func (i *IOH) DownBusy() sim.Duration { return i.down.BusyTime() }
+
+// Link is one PCIe device link (x16 for a GPU). PCIe is full duplex, so
+// each direction is an independent serializing engine. GPU copies cross
+// the IOH via the express path.
+type Link struct {
+	up, down *sim.Server
+	ioh      *IOH
+}
+
+// NewLink attaches a device link to an IOH.
+func NewLink(env *sim.Env, ioh *IOH, name string) *Link {
+	return &Link{
+		up:   sim.NewServer(env, name+"-up"),
+		down: sim.NewServer(env, name+"-down"),
+		ioh:  ioh,
+	}
+}
+
+// CopyH2D blocks p for a host→device DMA of size bytes: the transfer
+// occupies the link (Table 1 time) and consumes IOH capacity; it
+// completes when the slower of the two is done.
+func (l *Link) CopyH2D(p *sim.Proc, size int) {
+	p.SleepUntil(l.ScheduleH2D(size))
+}
+
+// CopyD2H blocks p for a device→host DMA.
+func (l *Link) CopyD2H(p *sim.Proc, size int) {
+	p.SleepUntil(l.ScheduleD2H(size))
+}
+
+// ScheduleH2D is the non-blocking variant (for pipelined streams):
+// it reserves both resources and returns the completion time.
+func (l *Link) ScheduleH2D(size int) sim.Time {
+	return maxTime(l.down.Schedule(model.H2DTime(size)), l.ioh.ExpressDown(size))
+}
+
+// ScheduleD2H reserves a device→host transfer and returns completion.
+func (l *Link) ScheduleD2H(size int) sim.Time {
+	return maxTime(l.up.Schedule(model.D2HTime(size)), l.ioh.ExpressUp(size))
+}
+
+// ScheduleD2HAt reserves a device→host transfer that may not start
+// before notBefore (pipelined copy-out after a kernel completes).
+func (l *Link) ScheduleD2HAt(notBefore sim.Time, size int) sim.Time {
+	done := l.up.ScheduleAt(notBefore, model.D2HTime(size))
+	express := l.ioh.ExpressUp(size)
+	if express < notBefore {
+		express = notBefore
+	}
+	return maxTime(done, express)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

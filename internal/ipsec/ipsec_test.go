@@ -1,0 +1,559 @@
+package ipsec
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	stdhmac "crypto/hmac"
+	stdsha1 "crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"packetshader/internal/packet"
+)
+
+// ---------------------------------------------------------------------------
+// AES
+// ---------------------------------------------------------------------------
+
+func TestAESFIPS197Vector(t *testing.T) {
+	// FIPS-197 appendix C.1.
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	a := NewAES(key)
+	got := make([]byte, 16)
+	a.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AES = %x, want %x", got, want)
+	}
+}
+
+func TestAESMatchesStdlib(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours := NewAES(key[:])
+		std, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a, b := make([]byte, 16), make([]byte, 16)
+		ours.Encrypt(a, block[:])
+		std.Encrypt(b, block[:])
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAESInPlace(t *testing.T) {
+	key := make([]byte, 16)
+	a := NewAES(key)
+	buf := make([]byte, 16)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	want := make([]byte, 16)
+	a.Encrypt(want, buf)
+	a.Encrypt(buf, buf) // aliased
+	if !bytes.Equal(buf, want) {
+		t.Error("in-place encryption differs")
+	}
+}
+
+func TestAESKeyLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAES(15 bytes) did not panic")
+		}
+	}()
+	NewAES(make([]byte, 15))
+}
+
+func TestCTRMatchesStdlib(t *testing.T) {
+	f := func(key [16]byte, nonce uint32, iv uint64, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		ours := NewAES(key[:])
+		got := make([]byte, len(data))
+		ours.CTR(got, data, nonce, iv)
+
+		std, _ := stdaes.NewCipher(key[:])
+		var ctrBlock [16]byte
+		binary.BigEndian.PutUint32(ctrBlock[0:4], nonce)
+		binary.BigEndian.PutUint64(ctrBlock[4:12], iv)
+		binary.BigEndian.PutUint32(ctrBlock[12:16], 1)
+		want := make([]byte, len(data))
+		cipher.NewCTR(std, ctrBlock[:]).XORKeyStream(want, data)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTRRoundTrip(t *testing.T) {
+	f := func(key [16]byte, nonce uint32, iv uint64, data []byte) bool {
+		a := NewAES(key[:])
+		ct := make([]byte, len(data))
+		a.CTR(ct, data, nonce, iv)
+		pt := make([]byte, len(data))
+		a.CTR(pt, ct, nonce, iv)
+		return bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1 / HMAC
+// ---------------------------------------------------------------------------
+
+func TestSHA1KnownVectors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	}
+	for _, c := range cases {
+		got := SHA1Digest([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA1(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSHA1MillionA(t *testing.T) {
+	s := NewSHA1()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		s.Write(chunk)
+	}
+	got := hex.EncodeToString(s.Sum(nil))
+	if got != "34aa973cd4c4daa4f61eeb2bdbad27316534016f" {
+		t.Errorf("SHA1(1M 'a') = %s", got)
+	}
+}
+
+func TestSHA1MatchesStdlibStreaming(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		ours := NewSHA1()
+		std := stdsha1.New()
+		for _, c := range chunks {
+			ours.Write(c)
+			std.Write(c)
+		}
+		return bytes.Equal(ours.Sum(nil), std.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSHA1SumDoesNotConsumeState(t *testing.T) {
+	s := NewSHA1()
+	s.Write([]byte("hello "))
+	first := s.Sum(nil)
+	second := s.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("repeated Sum differs")
+	}
+	s.Write([]byte("world"))
+	want := SHA1Digest([]byte("hello world"))
+	if !bytes.Equal(s.Sum(nil), want[:]) {
+		t.Error("state corrupted by Sum")
+	}
+}
+
+func TestHMACSHA1RFC2202Vectors(t *testing.T) {
+	cases := []struct{ key, data, want string }{
+		{"0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b", "4869205468657265",
+			"b617318655057264e28bc0b6fb378c8ef146be00"},
+		{"4a656665", "7768617420646f2079612077616e7420666f72206e6f7468696e673f",
+			"effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"},
+	}
+	for i, c := range cases {
+		key, _ := hex.DecodeString(c.key)
+		data, _ := hex.DecodeString(c.data)
+		h := NewHMACSHA1(key)
+		got := h.Sum(data)
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("vector %d: %x, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestHMACMatchesStdlib(t *testing.T) {
+	f := func(key, data []byte) bool {
+		ours := NewHMACSHA1(key)
+		got := ours.Sum(data)
+		std := stdhmac.New(stdsha1.New, key)
+		std.Write(data)
+		return bytes.Equal(got[:], std.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHMACLongKey(t *testing.T) {
+	key := bytes.Repeat([]byte{0xaa}, 80) // > block size, must be hashed
+	ours := NewHMACSHA1(key)
+	std := stdhmac.New(stdsha1.New, key)
+	std.Write([]byte("msg"))
+	got := ours.Sum([]byte("msg"))
+	if !bytes.Equal(got[:], std.Sum(nil)) {
+		t.Error("long-key HMAC differs from stdlib")
+	}
+}
+
+func TestHMACContextReusable(t *testing.T) {
+	h := NewHMACSHA1([]byte("key"))
+	a1 := h.Sum([]byte("one"))
+	_ = h.Sum([]byte("two"))
+	a2 := h.Sum([]byte("one"))
+	if a1 != a2 {
+		t.Error("HMAC context not reusable")
+	}
+}
+
+func TestICVTruncation(t *testing.T) {
+	h := NewHMACSHA1([]byte("k"))
+	full := h.Sum([]byte("m"))
+	icv := h.ICV([]byte("m"))
+	if !bytes.Equal(icv[:], full[:12]) {
+		t.Error("ICV is not the 96-bit truncation")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ESP
+// ---------------------------------------------------------------------------
+
+func testSA() (*SA, *SA) {
+	enc := []byte("0123456789abcdef")
+	auth := []byte("authauthauthauthauth")
+	out := NewSA(0x1001, 0xdeadbeef, enc, auth, 0x0A000001, 0x0A000002)
+	in := NewSA(0x1001, 0xdeadbeef, enc, auth, 0x0A000001, 0x0A000002)
+	return out, in
+}
+
+func innerPacket(size int) []byte {
+	var buf [2048]byte
+	frame := packet.BuildUDP4(buf[:], size+packet.EthHdrLen,
+		packet.MAC{}, packet.MAC{}, 0x0B000001, 0x0C000001, 7, 9)
+	inner := make([]byte, size)
+	copy(inner, frame[packet.EthHdrLen:])
+	return inner
+}
+
+func TestESPRoundTrip(t *testing.T) {
+	sender, receiver := testSA()
+	inner := innerPacket(100)
+	dst := make([]byte, 2048)
+	outer, err := sender.Encap(dst, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Decap(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, inner) {
+		t.Error("decapped inner differs")
+	}
+}
+
+func TestESPOuterHeaderFields(t *testing.T) {
+	sender, _ := testSA()
+	outer, err := sender.Encap(make([]byte, 2048), innerPacket(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr packet.IPv4Hdr
+	if _, err := hdr.Decode(outer); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Protocol != packet.ProtoESP {
+		t.Errorf("protocol = %d", hdr.Protocol)
+	}
+	if hdr.Src != sender.LocalIP || hdr.Dst != sender.PeerIP {
+		t.Errorf("outer addresses %v→%v", hdr.Src, hdr.Dst)
+	}
+	if int(hdr.TotalLen) != len(outer) {
+		t.Errorf("TotalLen = %d, len = %d", hdr.TotalLen, len(outer))
+	}
+	if !packet.VerifyIPv4Checksum(outer) {
+		t.Error("outer checksum invalid")
+	}
+}
+
+func TestESPOverheadMatches(t *testing.T) {
+	sender, _ := testSA()
+	for _, size := range []int{40, 41, 42, 43, 64, 100, 1400} {
+		inner := innerPacket(size)
+		outer, err := sender.Encap(make([]byte, 2048), inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outer) != size+EncapOverhead(size) {
+			t.Errorf("size %d: outer %d, want %d", size, len(outer), size+EncapOverhead(size))
+		}
+		// Trailer alignment (RFC 3686: 4-byte).
+		espPayload := len(outer) - packet.IPv4HdrLen - espHdrLen - espIVLen - ICVSize
+		if espPayload%4 != 0 {
+			t.Errorf("size %d: ESP plaintext %d not 4-byte aligned", size, espPayload)
+		}
+	}
+}
+
+func TestESPCiphertextDiffersFromPlaintext(t *testing.T) {
+	sender, _ := testSA()
+	inner := innerPacket(200)
+	outer, _ := sender.Encap(make([]byte, 2048), inner)
+	body := outer[packet.IPv4HdrLen+espHdrLen+espIVLen:]
+	if bytes.Contains(body, inner[:40]) {
+		t.Error("plaintext visible in ESP body")
+	}
+}
+
+func TestESPUniqueSequenceAndIV(t *testing.T) {
+	sender, _ := testSA()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		outer, _ := sender.Encap(make([]byte, 2048), innerPacket(64))
+		seq := binary.BigEndian.Uint32(outer[packet.IPv4HdrLen+4:])
+		iv := binary.BigEndian.Uint64(outer[packet.IPv4HdrLen+8:])
+		if seq != uint32(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+		if seen[iv] {
+			t.Fatalf("IV reuse at packet %d", i)
+		}
+		seen[iv] = true
+	}
+}
+
+func TestESPTamperDetected(t *testing.T) {
+	sender, receiver := testSA()
+	outer, _ := sender.Encap(make([]byte, 2048), innerPacket(80))
+	// Flip one ciphertext bit.
+	outer[packet.IPv4HdrLen+espHdrLen+espIVLen+5] ^= 0x01
+	if _, err := receiver.Decap(outer); err != ErrAuth {
+		t.Errorf("tampered packet: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestESPReplayRejected(t *testing.T) {
+	sender, receiver := testSA()
+	outer, _ := sender.Encap(make([]byte, 2048), innerPacket(80))
+	cp := make([]byte, len(outer))
+	copy(cp, outer)
+	if _, err := receiver.Decap(outer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Decap(cp); err != ErrReplay {
+		t.Errorf("replay: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestESPOutOfOrderWithinWindow(t *testing.T) {
+	sender, receiver := testSA()
+	var pkts [][]byte
+	for i := 0; i < 10; i++ {
+		outer, _ := sender.Encap(make([]byte, 2048), innerPacket(64))
+		cp := make([]byte, len(outer))
+		copy(cp, outer)
+		pkts = append(pkts, cp)
+	}
+	// Deliver 9 first, then the rest out of order.
+	order := []int{9, 3, 7, 0, 5, 1, 8, 2, 6, 4}
+	for _, i := range order {
+		if _, err := receiver.Decap(pkts[i]); err != nil {
+			t.Fatalf("packet %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestESPStaleBeyondWindowRejected(t *testing.T) {
+	sender, receiver := testSA()
+	first, _ := sender.Encap(make([]byte, 2048), innerPacket(64))
+	firstCp := make([]byte, len(first))
+	copy(firstCp, first)
+	// Advance far past the window.
+	for i := 0; i < 100; i++ {
+		outer, _ := sender.Encap(make([]byte, 2048), innerPacket(64))
+		if _, err := receiver.Decap(outer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := receiver.Decap(firstCp); err != ErrReplay {
+		t.Errorf("stale packet: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestESPWrongSPI(t *testing.T) {
+	sender, _ := testSA()
+	other := NewSA(0x2002, 0xdeadbeef, []byte("0123456789abcdef"),
+		[]byte("auth"), 1, 2)
+	outer, _ := sender.Encap(make([]byte, 2048), innerPacket(64))
+	if _, err := other.Decap(outer); err != ErrBadSPI {
+		t.Errorf("err = %v, want ErrBadSPI", err)
+	}
+}
+
+func TestESPMalformedTooShort(t *testing.T) {
+	_, receiver := testSA()
+	short := make([]byte, packet.IPv4HdrLen+10)
+	hdr := packet.IPv4Hdr{IHL: 5, TotalLen: uint16(len(short)), TTL: 64,
+		Protocol: packet.ProtoESP, Src: 1, Dst: 2}
+	hdr.Encode(short)
+	if _, err := receiver.Decap(short); err != ErrMalformed {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestESPNonESPProtocol(t *testing.T) {
+	_, receiver := testSA()
+	var buf [128]byte
+	frame := packet.BuildUDP4(buf[:], 64, packet.MAC{}, packet.MAC{}, 1, 2, 3, 4)
+	if _, err := receiver.Decap(frame[packet.EthHdrLen:]); err != ErrMalformed {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// Property: Encap→Decap is the identity for any payload size/content.
+func TestESPRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, sizeSeed uint16) bool {
+		sender, receiver := testSA()
+		size := 28 + int(sizeSeed)%1400
+		inner := innerPacket(size)
+		if len(payload) > 0 {
+			copy(inner[28:], payload)
+		}
+		outer, err := sender.Encap(make([]byte, 2048), inner)
+		if err != nil {
+			return false
+		}
+		got, err := receiver.Decap(outer)
+		return err == nil && bytes.Equal(got, inner)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayWindowUnit(t *testing.T) {
+	var w replayWindow
+	if w.check(0) {
+		t.Error("seq 0 accepted")
+	}
+	if !w.check(1) {
+		t.Error("seq 1 rejected on empty window")
+	}
+	w.advance(1)
+	if w.check(1) {
+		t.Error("seq 1 accepted twice")
+	}
+	w.advance(100)
+	if w.check(100) || !w.check(99) || !w.check(37) {
+		t.Error("window state wrong after jump to 100")
+	}
+	if w.check(36) {
+		t.Error("seq 36 (100-64) inside 64-bit window accepted") // off=64 ≥ size
+	}
+	w.advance(99)
+	if w.check(99) {
+		t.Error("seq 99 accepted twice")
+	}
+}
+
+func BenchmarkAESCTR1500B(b *testing.B) {
+	a := NewAES(make([]byte, 16))
+	buf := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		a.CTR(buf, buf, 1, uint64(i))
+	}
+}
+
+func BenchmarkHMACSHA1_1500B(b *testing.B) {
+	h := NewHMACSHA1([]byte("key"))
+	buf := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		_ = h.ICV(buf)
+	}
+}
+
+func BenchmarkESPEncap64B(b *testing.B) {
+	sender, _ := testSA()
+	inner := innerPacket(64)
+	dst := make([]byte, 2048)
+	for i := 0; i < b.N; i++ {
+		if _, err := sender.Encap(dst, inner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecapNeverPanicsOnGarbage: arbitrary bytes (including valid-ish
+// IPv4/ESP prefixes) must be rejected with errors, never a panic.
+func TestDecapNeverPanicsOnGarbage(t *testing.T) {
+	_, receiver := testSA()
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decap panicked: %v", r)
+			}
+		}()
+		_, _ = receiver.Decap(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecapTruncatedESP: every truncation of a valid ESP packet fails
+// cleanly.
+func TestDecapTruncatedESP(t *testing.T) {
+	sender, receiver := testSA()
+	outer, _ := sender.Encap(make([]byte, 2048), innerPacket(120))
+	for n := 0; n < len(outer); n++ {
+		cp := make([]byte, n)
+		copy(cp, outer[:n])
+		if _, err := receiver.Decap(cp); err == nil {
+			t.Fatalf("truncated ESP (%d of %d bytes) accepted", n, len(outer))
+		}
+	}
+}
+
+// TestDecapBitflipSweep: flipping any single byte of a valid ESP packet
+// must be detected (header fields → malformed/bad SPI/replay; body/ICV
+// → auth failure). No flip may yield a successful decap of wrong data.
+func TestDecapBitflipSweep(t *testing.T) {
+	inner := innerPacket(64)
+	sender, _ := testSA()
+	outer, _ := sender.Encap(make([]byte, 2048), inner)
+	for pos := 0; pos < len(outer); pos++ {
+		// Fresh receiver each time (replay window state).
+		_, receiver := testSA()
+		cp := make([]byte, len(outer))
+		copy(cp, outer)
+		cp[pos] ^= 0x01
+		got, err := receiver.Decap(cp)
+		if err == nil {
+			// Flips inside the outer IP header don't break ESP underneath
+			// (TOS etc.); the decapped inner must still be intact then.
+			if string(got) != string(inner) {
+				t.Fatalf("bit flip at %d yielded corrupted plaintext", pos)
+			}
+		}
+	}
+}

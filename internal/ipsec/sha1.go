@@ -1,0 +1,175 @@
+package ipsec
+
+import "encoding/binary"
+
+// SHA-1 (FIPS 180-4) from scratch. HMAC-SHA1 cannot be parallelized
+// below packet granularity because each 64-byte block depends on the
+// previous block's state (§6.2.4), so the GPU maps one packet per
+// thread.
+const (
+	SHA1Size      = 20
+	SHA1BlockSize = 64
+)
+
+// SHA1 is a streaming SHA-1 state. The zero value is NOT ready; use
+// NewSHA1 or Reset.
+type SHA1 struct {
+	h     [5]uint32
+	buf   [SHA1BlockSize]byte
+	nbuf  int
+	total uint64
+}
+
+// NewSHA1 returns an initialized hash.
+func NewSHA1() *SHA1 {
+	s := &SHA1{}
+	s.Reset()
+	return s
+}
+
+// Reset returns the state to the initial vector.
+func (s *SHA1) Reset() {
+	s.h = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	s.nbuf = 0
+	s.total = 0
+}
+
+// Write absorbs p (never fails).
+func (s *SHA1) Write(p []byte) (int, error) {
+	n := len(p)
+	s.total += uint64(n)
+	if s.nbuf > 0 {
+		c := copy(s.buf[s.nbuf:], p)
+		s.nbuf += c
+		p = p[c:]
+		if s.nbuf == SHA1BlockSize {
+			s.block(s.buf[:])
+			s.nbuf = 0
+		}
+	}
+	for len(p) >= SHA1BlockSize {
+		s.block(p[:SHA1BlockSize])
+		p = p[SHA1BlockSize:]
+	}
+	if len(p) > 0 {
+		s.nbuf = copy(s.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest of everything written so far to in and returns
+// the result. It does not consume the state (a copy is finalized).
+func (s *SHA1) Sum(in []byte) []byte {
+	d := *s // copy; padding must not disturb the stream state
+	var pad [SHA1BlockSize + 8]byte
+	pad[0] = 0x80
+	msgBits := d.total * 8
+	padLen := SHA1BlockSize - int(d.total%SHA1BlockSize) - 8
+	if padLen <= 0 {
+		padLen += SHA1BlockSize
+	}
+	binary.BigEndian.PutUint64(pad[padLen:], msgBits)
+	d.Write(pad[:padLen+8])
+	var out [SHA1Size]byte
+	for i, v := range d.h {
+		binary.BigEndian.PutUint32(out[4*i:], v)
+	}
+	return append(in, out[:]...)
+}
+
+func (s *SHA1) block(p []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[4*i:])
+	}
+	for i := 16; i < 80; i++ {
+		t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+		w[i] = t<<1 | t>>31
+	}
+	a, b, c, d, e := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & d)
+			k = 0x5A827999
+		case i < 40:
+			f = b ^ c ^ d
+			k = 0x6ED9EBA1
+		case i < 60:
+			f = (b & c) | (b & d) | (c & d)
+			k = 0x8F1BBCDC
+		default:
+			f = b ^ c ^ d
+			k = 0xCA62C1D6
+		}
+		t := (a<<5 | a>>27) + f + e + k + w[i]
+		e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+	}
+	s.h[0] += a
+	s.h[1] += b
+	s.h[2] += c
+	s.h[3] += d
+	s.h[4] += e
+}
+
+// SHA1Digest is a convenience one-shot hash.
+func SHA1Digest(p []byte) [SHA1Size]byte {
+	s := NewSHA1()
+	s.Write(p)
+	var out [SHA1Size]byte
+	copy(out[:], s.Sum(nil))
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA1 (RFC 2104) and the 96-bit truncation ESP uses (RFC 2404).
+// ---------------------------------------------------------------------------
+
+// HMACSHA1 is a reusable HMAC-SHA1 context for a fixed key.
+type HMACSHA1 struct {
+	ipad, opad [SHA1BlockSize]byte
+	inner      SHA1
+}
+
+// NewHMACSHA1 builds a context for key (any length).
+func NewHMACSHA1(key []byte) *HMACSHA1 {
+	h := &HMACSHA1{}
+	var k [SHA1BlockSize]byte
+	if len(key) > SHA1BlockSize {
+		d := SHA1Digest(key)
+		copy(k[:], d[:])
+	} else {
+		copy(k[:], key)
+	}
+	for i := range k {
+		h.ipad[i] = k[i] ^ 0x36
+		h.opad[i] = k[i] ^ 0x5c
+	}
+	return h
+}
+
+// Sum computes HMAC-SHA1(key, msg).
+func (h *HMACSHA1) Sum(msg []byte) [SHA1Size]byte {
+	h.inner.Reset()
+	h.inner.Write(h.ipad[:])
+	h.inner.Write(msg)
+	innerDigest := h.inner.Sum(nil)
+	h.inner.Reset()
+	h.inner.Write(h.opad[:])
+	h.inner.Write(innerDigest)
+	var out [SHA1Size]byte
+	copy(out[:], h.inner.Sum(nil))
+	return out
+}
+
+// ICVSize is the truncated authenticator length used by ESP (RFC 2404).
+const ICVSize = 12
+
+// ICV computes the 96-bit truncated HMAC-SHA1 authenticator.
+func (h *HMACSHA1) ICV(msg []byte) [ICVSize]byte {
+	full := h.Sum(msg)
+	var out [ICVSize]byte
+	copy(out[:], full[:ICVSize])
+	return out
+}

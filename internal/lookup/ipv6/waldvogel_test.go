@@ -1,0 +1,251 @@
+package ipv6
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"packetshader/internal/route"
+)
+
+func TestEmptyTable(t *testing.T) {
+	tbl := Build(nil)
+	if got := tbl.Lookup(1, 2); got != route.NoRoute {
+		t.Errorf("empty lookup = %d", got)
+	}
+	if tbl.MaxDepth() != 0 {
+		t.Errorf("depth = %d", tbl.MaxDepth())
+	}
+}
+
+func TestSinglePrefix(t *testing.T) {
+	tbl := Build([]route.Entry6{
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Len: 32}, NextHop: 4},
+	})
+	if got := tbl.Lookup(0x20010db8aabbccdd, 0x1122334455667788); got != 4 {
+		t.Errorf("inside /32 = %d, want 4", got)
+	}
+	if got := tbl.Lookup(0x20010db900000000, 0); got != route.NoRoute {
+		t.Errorf("outside /32 = %d, want miss", got)
+	}
+}
+
+func TestNestedPrefixesLongestWins(t *testing.T) {
+	tbl := Build([]route.Entry6{
+		{Prefix6: route.Prefix6{Hi: 0x2001000000000000, Len: 16}, NextHop: 1},
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Len: 32}, NextHop: 2},
+		{Prefix6: route.Prefix6{Hi: 0x20010db800010000, Len: 48}, NextHop: 3},
+		{Prefix6: route.Prefix6{Hi: 0x20010db800010002, Len: 64}, NextHop: 4},
+	})
+	cases := []struct {
+		hi, lo uint64
+		want   uint16
+	}{
+		{0x20010db800010002, 0xffff, 4},
+		{0x20010db800010003, 0, 3},
+		{0x20010db800020000, 0, 2},
+		{0x2001aaaa00000000, 0, 1},
+		{0x2002000000000000, 0, route.NoRoute},
+	}
+	for _, c := range cases {
+		if got := tbl.Lookup(c.hi, c.lo); got != c.want {
+			t.Errorf("Lookup(%#x,%#x) = %d, want %d", c.hi, c.lo, got, c.want)
+		}
+	}
+}
+
+func TestMarkerWithoutLongerMatchFallsBack(t *testing.T) {
+	// Classic Waldvogel trap: a marker leads the search right, where
+	// nothing matches; the marker's precomputed BMP must save the
+	// result.
+	tbl := Build([]route.Entry6{
+		{Prefix6: route.Prefix6{Hi: 0x2001000000000000, Len: 16}, NextHop: 1},
+		// This /64 plants markers at intermediate lengths for its own
+		// bits.
+		{Prefix6: route.Prefix6{Hi: 0x20010db800010002, Len: 64}, NextHop: 9},
+	})
+	// Shares the /16 and the marker path bits down to /32 or /48 but
+	// diverges before /64: must return the /16's hop.
+	if got := tbl.Lookup(0x20010db800010003, 0); got != 1 {
+		t.Errorf("fallback = %d, want 1 (marker BMP)", got)
+	}
+}
+
+func TestLowBitsPrefixes(t *testing.T) {
+	// Prefixes longer than 64 exercise the Lo half.
+	tbl := Build([]route.Entry6{
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Lo: 0xaa00000000000000, Len: 72}, NextHop: 5},
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Lo: 0xaabbccdd00000000, Len: 96}, NextHop: 6},
+	})
+	if got := tbl.Lookup(0x20010db800000000, 0xaabbccdd12345678); got != 6 {
+		t.Errorf("/96 = %d, want 6", got)
+	}
+	if got := tbl.Lookup(0x20010db800000000, 0xaa11223344556677); got != 5 {
+		t.Errorf("/72 = %d, want 5", got)
+	}
+	if got := tbl.Lookup(0x20010db800000000, 0xbb00000000000000); got != route.NoRoute {
+		t.Errorf("miss = %d", got)
+	}
+}
+
+func TestDefaultRouteLenZero(t *testing.T) {
+	tbl := Build([]route.Entry6{
+		{Prefix6: route.Prefix6{Len: 0}, NextHop: 2},
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Len: 32}, NextHop: 3},
+	})
+	if got := tbl.Lookup(0xffffffffffffffff, 0xffffffffffffffff); got != 2 {
+		t.Errorf("default = %d, want 2", got)
+	}
+	if got := tbl.Lookup(0x20010db800000001, 0); got != 3 {
+		t.Errorf("specific = %d, want 3", got)
+	}
+}
+
+func TestDepthIsLogOfDistinctLengths(t *testing.T) {
+	// 7 distinct lengths → balanced tree depth 3.
+	var entries []route.Entry6
+	for i, l := range []uint8{16, 24, 32, 40, 48, 56, 64} {
+		entries = append(entries, route.Entry6{
+			Prefix6: route.Prefix6{Hi: uint64(0x2000+i) << 48, Len: l},
+			NextHop: uint16(i),
+		})
+	}
+	tbl := Build(entries)
+	if tbl.MaxDepth() != 3 {
+		t.Errorf("depth = %d, want 3 for 7 lengths", tbl.MaxDepth())
+	}
+	// With 127 distinct lengths (a full balanced tree) the depth is 7 —
+	// the paper's "seven memory accesses" per lookup (§6.2.2).
+	var full []route.Entry6
+	for l := 1; l <= 127; l++ {
+		full = append(full, route.Entry6{
+			Prefix6: route.Prefix6{Hi: 1 << 61, Len: uint8(l)},
+			NextHop: uint16(l),
+		})
+	}
+	if d := Build(full).MaxDepth(); d != 7 {
+		t.Errorf("depth for 127 lengths = %d, want 7 (§6.2.2)", d)
+	}
+}
+
+func TestProbeCountBounded(t *testing.T) {
+	entries := route.GenerateIPv6Table(2000, 16, 21)
+	tbl := Build(entries)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		_, probes := tbl.LookupCounted(rng.Uint64(), rng.Uint64())
+		if probes > tbl.MaxDepth() {
+			t.Fatalf("probes = %d > max depth %d", probes, tbl.MaxDepth())
+		}
+	}
+}
+
+// TestAgainstLinearOracle: the central correctness property — agree with
+// the reference linear LPM for random addresses and for addresses inside
+// known prefixes.
+func TestAgainstLinearOracle(t *testing.T) {
+	entries := route.GenerateIPv6Table(3000, 32, 17)
+	tbl := Build(entries)
+	oracle := route.NewLinearLPM6(entries)
+	f := func(hi, lo uint64) bool {
+		return tbl.Lookup(hi, lo) == oracle.Lookup(hi, lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		e := entries[rng.Intn(len(entries))]
+		mh, ml := route.Mask6(e.Prefix6.Len)
+		hi := e.Prefix6.Hi | (rng.Uint64() &^ mh)
+		lo := e.Prefix6.Lo | (rng.Uint64() &^ ml)
+		if got, want := tbl.Lookup(hi, lo), oracle.Lookup(hi, lo); got != want {
+			t.Fatalf("Lookup(%#x,%#x) = %d, oracle %d (prefix %+v)",
+				hi, lo, got, want, e.Prefix6)
+		}
+	}
+}
+
+func TestNestedRandomPrefixFamilies(t *testing.T) {
+	// Build deliberately nested families: base /32s with /48 and /64
+	// children, to stress marker/BMP interactions.
+	rng := rand.New(rand.NewSource(123))
+	var entries []route.Entry6
+	for i := 0; i < 50; i++ {
+		base := (rng.Uint64()&0x1fffffffffffffff | 1<<61) &^ 0xffffffff
+		entries = append(entries, route.Entry6{
+			Prefix6: route.Prefix6{Hi: base, Len: 32}, NextHop: uint16(i * 3)})
+		for j := 0; j < 4; j++ {
+			child := base | rng.Uint64()&0x0000ffff00000000&^0xffff
+			mh, _ := route.Mask6(48)
+			entries = append(entries, route.Entry6{
+				Prefix6: route.Prefix6{Hi: child & mh, Len: 48}, NextHop: uint16(i*3 + 1)})
+			entries = append(entries, route.Entry6{
+				Prefix6: route.Prefix6{Hi: child&mh | rng.Uint64()&0xffff, Len: 64},
+				NextHop: uint16(i*3 + 2)})
+		}
+	}
+	tbl := Build(entries)
+	oracle := route.NewLinearLPM6(entries)
+	for i := 0; i < 2000; i++ {
+		e := entries[rng.Intn(len(entries))]
+		mh, ml := route.Mask6(e.Prefix6.Len)
+		hi := e.Prefix6.Hi | (rng.Uint64() &^ mh)
+		lo := e.Prefix6.Lo | (rng.Uint64() &^ ml)
+		if got, want := tbl.Lookup(hi, lo), oracle.Lookup(hi, lo); got != want {
+			t.Fatalf("disagreement at %#x,%#x: %d vs %d", hi, lo, got, want)
+		}
+	}
+}
+
+func TestLookupBatchMatchesScalar(t *testing.T) {
+	entries := route.GenerateIPv6Table(1000, 8, 5)
+	tbl := Build(entries)
+	rng := rand.New(rand.NewSource(8))
+	n := 256
+	his, los := make([]uint64, n), make([]uint64, n)
+	for i := range his {
+		his[i], los[i] = rng.Uint64(), rng.Uint64()
+	}
+	hops := make([]uint16, n)
+	tbl.LookupBatch(his, los, hops)
+	for i := range his {
+		if hops[i] != tbl.Lookup(his[i], los[i]) {
+			t.Fatalf("batch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestPaperScaleTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200k-prefix build")
+	}
+	entries := route.GenerateIPv6Table(200000, 8, 1)
+	tbl := Build(entries)
+	if tbl.Entries() < 200000 {
+		t.Errorf("entries = %d, want ≥ prefix count", tbl.Entries())
+	}
+	oracle := route.NewLinearLPM6(entries[:500])
+	sub := Build(entries[:500])
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		hi, lo := rng.Uint64(), rng.Uint64()
+		if got, want := sub.Lookup(hi, lo), oracle.Lookup(hi, lo); got != want {
+			t.Fatalf("mismatch at %#x,%#x", hi, lo)
+		}
+	}
+}
+
+func BenchmarkLookupHostCPU(b *testing.B) {
+	entries := route.GenerateIPv6Table(200000, 64, 1)
+	tbl := Build(entries)
+	rng := rand.New(rand.NewSource(1))
+	his, los := make([]uint64, 4096), make([]uint64, 4096)
+	for i := range his {
+		his[i], los[i] = rng.Uint64(), rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Lookup(his[i&4095], los[i&4095])
+	}
+}

@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"unsafe"
+
+	"packetshader/internal/model"
+)
+
+// CellMeta is the compact per-packet metadata of the huge packet buffer
+// (§4.2): the paper trims Linux's 208-byte skb down to 8 bytes because
+// router packets never traverse the host network stack.
+type CellMeta struct {
+	Len   uint16 // frame length
+	Port  uint8  // ingress port
+	Queue uint8  // ingress RX queue
+	Flags uint32 // classification bits (slow path, checksum, ...)
+}
+
+// CellMeta flag bits.
+const (
+	FlagSlowPath uint32 = 1 << iota // destined to local stack / malformed
+	FlagBadCsum                     // NIC marked bad IP checksum
+	FlagTTLExpired
+)
+
+// HugeBuffer is the huge packet buffer: one contiguous data area of
+// fixed 2048-byte cells plus a metadata array, sized to the RX ring and
+// recycled as the ring wraps (§4.2). There is no per-packet allocation
+// and the whole region is DMA-mapped once.
+type HugeBuffer struct {
+	data  []byte
+	meta  []CellMeta
+	cells int
+}
+
+// NewHugeBuffer allocates a buffer of n cells.
+func NewHugeBuffer(n int) *HugeBuffer {
+	return &HugeBuffer{
+		data:  make([]byte, n*model.HugeCellDataBytes),
+		meta:  make([]CellMeta, n),
+		cells: n,
+	}
+}
+
+// Cells returns the cell count.
+func (h *HugeBuffer) Cells() int { return h.cells }
+
+// Cell returns the data cell for ring slot i (i taken modulo the ring,
+// which is how the hardware reuses cells on wrap).
+func (h *HugeBuffer) Cell(i int) []byte {
+	i %= h.cells
+	off := i * model.HugeCellDataBytes
+	return h.data[off : off+model.HugeCellDataBytes : off+model.HugeCellDataBytes]
+}
+
+// Meta returns the metadata cell for ring slot i.
+func (h *HugeBuffer) Meta(i int) *CellMeta {
+	return &h.meta[i%h.cells]
+}
+
+// MetaBytes is the compile-time size of CellMeta; it must stay at the
+// paper's 8 bytes.
+const MetaBytes = int(unsafe.Sizeof(CellMeta{}))
+
+// DMAMapOps returns how many DMA mapping operations the huge buffer
+// needs in total: one, for the whole region (§4.2) — versus one per
+// packet on the skb path.
+func (h *HugeBuffer) DMAMapOps() int { return 1 }

@@ -1,0 +1,337 @@
+// Package modular implements the §7 "Click-like modular programming
+// environment" the paper names as its next step: router functionality
+// is composed from small elements wired into a graph with Click's
+// configuration syntax, and the graph compiles into a core.App whose
+// GPU-offloadable stage (at most one per pipeline, matching the paper's
+// one-kernel-at-a-time framework) runs in the shading step.
+//
+// Example configuration:
+//
+//	check :: CheckIPHeader;
+//	ttl   :: DecTTL;
+//	rt    :: LookupIPv4($table);
+//	out   :: ToHop(8);
+//	check -> ttl -> rt -> out;
+//	check[1] -> drop :: Discard;
+//
+// Elements receive the packet indices arriving at their input, process
+// them (really — TTLs are decremented, lookups executed), and route
+// each index to one of their outputs.
+package modular
+
+import (
+	"packetshader/internal/core"
+	"packetshader/internal/hw/gpu"
+	"packetshader/internal/model"
+	"packetshader/internal/openflow"
+	"packetshader/internal/packet"
+
+	lookupv4 "packetshader/internal/lookup/ipv4"
+	"packetshader/internal/route"
+)
+
+// Ctx is the per-chunk processing context handed to elements. Annot
+// carries per-packet 32-bit annotations between elements (Click's
+// packet annotations): LookupIPv4 writes the next hop there, ToHop
+// reads it.
+type Ctx struct {
+	Chunk *core.Chunk
+	Annot []uint32
+}
+
+// NewCtx wraps a chunk.
+func NewCtx(c *core.Chunk) *Ctx {
+	return &Ctx{Chunk: c, Annot: make([]uint32, len(c.Bufs))}
+}
+
+// Element is one processing stage. Process consumes the chunk's packets
+// at idxs and distributes them to its outputs (an index appearing in no
+// output is dropped); it returns the CPU cycles consumed.
+type Element interface {
+	Class() string
+	NumOutputs() int
+	Process(ctx *Ctx, idxs []int) (outs [][]int, cycles float64)
+}
+
+// GPUElement is an element whose work can run in the shading step.
+type GPUElement interface {
+	Element
+	Kernel() *gpu.KernelSpec
+	// Gather reports the GPU transfer descriptors for the packets.
+	Gather(ctx *Ctx, idxs []int) (threads, inBytes, outBytes, streamBytes int)
+	// RunKernel performs the offloaded work (called on the master),
+	// writing results into ctx.Annot.
+	RunKernel(ctx *Ctx, idxs []int)
+	// CPUCycles is the cost of doing the same work on the CPU.
+	CPUCycles(ctx *Ctx, idxs []int) float64
+}
+
+// ---------------------------------------------------------------------------
+// Built-in elements.
+// ---------------------------------------------------------------------------
+
+// CheckIPHeader validates IPv4 headers: valid packets exit output 0,
+// invalid ones output 1 (or are dropped if output 1 is unwired).
+type CheckIPHeader struct {
+	Bad uint64
+	dec packet.Decoder
+}
+
+// Class implements Element.
+func (e *CheckIPHeader) Class() string { return "CheckIPHeader" }
+
+// NumOutputs implements Element.
+func (e *CheckIPHeader) NumOutputs() int { return 2 }
+
+// Process implements Element.
+func (e *CheckIPHeader) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	outs := make([][]int, 2)
+	for _, i := range idxs {
+		if err := e.dec.Decode(ctx.Chunk.Bufs[i].Data); err != nil ||
+			!e.dec.Has(packet.LayerIPv4) ||
+			!packet.VerifyIPv4Checksum(ctx.Chunk.Bufs[i].Data[packet.EthHdrLen:]) {
+			e.Bad++
+			outs[1] = append(outs[1], i)
+			continue
+		}
+		outs[0] = append(outs[0], i)
+	}
+	return outs, float64(len(idxs)) * 60
+}
+
+// DecTTL decrements the IPv4 TTL with the RFC 1624 incremental checksum
+// update; expired packets exit output 1.
+type DecTTL struct {
+	Expired uint64
+}
+
+// Class implements Element.
+func (e *DecTTL) Class() string { return "DecTTL" }
+
+// NumOutputs implements Element.
+func (e *DecTTL) NumOutputs() int { return 2 }
+
+// Process implements Element.
+func (e *DecTTL) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	outs := make([][]int, 2)
+	for _, i := range idxs {
+		hdr := ctx.Chunk.Bufs[i].Data[packet.EthHdrLen:]
+		if hdr[8] <= 1 {
+			e.Expired++
+			outs[1] = append(outs[1], i)
+			continue
+		}
+		old16 := uint16(hdr[8])<<8 | uint16(hdr[9])
+		hdr[8]--
+		cs := uint16(hdr[10])<<8 | uint16(hdr[11])
+		ncs := packet.ChecksumUpdateTTLDecrement(cs, old16)
+		hdr[10], hdr[11] = byte(ncs>>8), byte(ncs)
+		outs[0] = append(outs[0], i)
+	}
+	return outs, float64(len(idxs)) * 40
+}
+
+// LookupIPv4 performs DIR-24-8 longest prefix match; it is the
+// pipeline's GPU-offloadable element. The hop is written to the packet
+// annotation; hits exit output 0, misses output 1.
+type LookupIPv4 struct {
+	Table *lookupv4.Table
+	dec   packet.Decoder
+}
+
+// annotNoRoute marks a miss in the annotation space.
+const annotNoRoute = uint32(route.NoRoute)
+
+// Class implements Element.
+func (e *LookupIPv4) Class() string { return "LookupIPv4" }
+
+// NumOutputs implements Element.
+func (e *LookupIPv4) NumOutputs() int { return 2 }
+
+// Process implements Element: route by the annotation the kernel wrote
+// (used in the post-GPU phase).
+func (e *LookupIPv4) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	outs := make([][]int, 2)
+	for _, i := range idxs {
+		if ctx.Annot[i] == annotNoRoute {
+			outs[1] = append(outs[1], i)
+			continue
+		}
+		outs[0] = append(outs[0], i)
+	}
+	return outs, float64(len(idxs)) * 10
+}
+
+// Kernel implements GPUElement.
+func (e *LookupIPv4) Kernel() *gpu.KernelSpec { return &gpu.KernelIPv4 }
+
+// Gather implements GPUElement.
+func (e *LookupIPv4) Gather(ctx *Ctx, idxs []int) (int, int, int, int) {
+	n := len(idxs)
+	return n, n * 4, n * 2, 0
+}
+
+// RunKernel implements GPUElement.
+func (e *LookupIPv4) RunKernel(ctx *Ctx, idxs []int) {
+	for _, i := range idxs {
+		if err := e.dec.Decode(ctx.Chunk.Bufs[i].Data); err == nil && e.dec.Has(packet.LayerIPv4) {
+			ctx.Annot[i] = uint32(e.Table.Lookup(e.dec.IPv4.Dst))
+		} else {
+			ctx.Annot[i] = annotNoRoute
+		}
+	}
+}
+
+// CPUCycles implements GPUElement.
+func (e *LookupIPv4) CPUCycles(ctx *Ctx, idxs []int) float64 {
+	return float64(len(idxs)) *
+		(1.05*model.MemAccessCycles()*model.MemContentionFactor + model.IPv4LookupComputeCycles)
+}
+
+// ToHop emits each packet to output port (annotation mod Ports).
+type ToHop struct{ Ports int }
+
+// Class implements Element.
+func (e *ToHop) Class() string { return "ToHop" }
+
+// NumOutputs implements Element.
+func (e *ToHop) NumOutputs() int { return 0 }
+
+// Process implements Element.
+func (e *ToHop) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	for _, i := range idxs {
+		ctx.Chunk.OutPorts[i] = int(ctx.Annot[i]) % e.Ports
+	}
+	return nil, float64(len(idxs)) * 15
+}
+
+// ToPort emits every packet to a fixed port.
+type ToPort struct{ Port int }
+
+// Class implements Element.
+func (e *ToPort) Class() string { return "ToPort" }
+
+// NumOutputs implements Element.
+func (e *ToPort) NumOutputs() int { return 0 }
+
+// Process implements Element.
+func (e *ToPort) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	for _, i := range idxs {
+		ctx.Chunk.OutPorts[i] = e.Port
+	}
+	return nil, float64(len(idxs)) * 10
+}
+
+// Discard drops everything it receives.
+type Discard struct{ Count uint64 }
+
+// Class implements Element.
+func (e *Discard) Class() string { return "Discard" }
+
+// NumOutputs implements Element.
+func (e *Discard) NumOutputs() int { return 0 }
+
+// Process implements Element.
+func (e *Discard) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	for _, i := range idxs {
+		ctx.Chunk.OutPorts[i] = -1
+	}
+	e.Count += uint64(len(idxs))
+	return nil, float64(len(idxs)) * 2
+}
+
+// Counter passes packets through on output 0, counting them.
+type Counter struct{ Packets, Bytes uint64 }
+
+// Class implements Element.
+func (e *Counter) Class() string { return "Counter" }
+
+// NumOutputs implements Element.
+func (e *Counter) NumOutputs() int { return 1 }
+
+// Process implements Element.
+func (e *Counter) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	for _, i := range idxs {
+		e.Packets++
+		e.Bytes += uint64(len(ctx.Chunk.Bufs[i].Data))
+	}
+	return [][]int{idxs}, float64(len(idxs)) * 4
+}
+
+// Classifier routes by EtherType: output 0 = IPv4, 1 = IPv6, 2 = other.
+type Classifier struct {
+	dec packet.Decoder
+}
+
+// Class implements Element.
+func (e *Classifier) Class() string { return "Classifier" }
+
+// NumOutputs implements Element.
+func (e *Classifier) NumOutputs() int { return 3 }
+
+// Process implements Element.
+func (e *Classifier) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	outs := make([][]int, 3)
+	for _, i := range idxs {
+		out := 2
+		if err := e.dec.Decode(ctx.Chunk.Bufs[i].Data); err == nil {
+			switch {
+			case e.dec.Has(packet.LayerIPv4):
+				out = 0
+			case e.dec.Has(packet.LayerIPv6):
+				out = 1
+			}
+		}
+		outs[out] = append(outs[out], i)
+	}
+	return outs, float64(len(idxs)) * 50
+}
+
+// VLANEncap pushes (or retags) an 802.1Q tag with the configured VID.
+type VLANEncap struct{ VID uint16 }
+
+// Class implements Element.
+func (e *VLANEncap) Class() string { return "VLANEncap" }
+
+// NumOutputs implements Element.
+func (e *VLANEncap) NumOutputs() int { return 1 }
+
+// Process implements Element.
+func (e *VLANEncap) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	var pass []int
+	for _, i := range idxs {
+		b := ctx.Chunk.Bufs[i]
+		out, err := openflow.ApplyMods(b.Data, []openflow.Mod{
+			{Type: openflow.ModSetVLAN, VLAN: e.VID},
+		})
+		if err != nil {
+			ctx.Chunk.OutPorts[i] = -1
+			continue
+		}
+		b.Data = out
+		pass = append(pass, i)
+	}
+	return [][]int{pass}, float64(len(idxs)) * 30
+}
+
+// VLANDecap strips the 802.1Q tag if present.
+type VLANDecap struct{}
+
+// Class implements Element.
+func (e *VLANDecap) Class() string { return "VLANDecap" }
+
+// NumOutputs implements Element.
+func (e *VLANDecap) NumOutputs() int { return 1 }
+
+// Process implements Element.
+func (e *VLANDecap) Process(ctx *Ctx, idxs []int) ([][]int, float64) {
+	for _, i := range idxs {
+		b := ctx.Chunk.Bufs[i]
+		if out, err := openflow.ApplyMods(b.Data, []openflow.Mod{
+			{Type: openflow.ModStripVLAN},
+		}); err == nil {
+			b.Data = out
+		}
+	}
+	return [][]int{idxs}, float64(len(idxs)) * 25
+}

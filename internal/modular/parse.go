@@ -1,0 +1,241 @@
+package modular
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	lookupv4 "packetshader/internal/lookup/ipv4"
+)
+
+// Bindings resolve $name arguments in the configuration to Go objects
+// (routing tables, and so on).
+type Bindings map[string]any
+
+// node is a declared element instance.
+type node struct {
+	name string
+	el   Element
+	// out[k] is the element wired to output k ("" = unwired: dropped).
+	out []string
+}
+
+// Parse reads a Click-style configuration and returns the pipeline.
+//
+// Grammar (a practical subset of Click's):
+//
+//	decl  := name "::" Class [ "(" args ")" ]
+//	conn  := endpoint ( "->" endpoint )+
+//	endpoint := name | name "[" out "]" | decl   (inline declaration)
+//	stmt  := (decl | conn) ";"
+//	args  := comma-separated tokens; "$x" resolves via bindings
+//	"//" comments run to end of line
+func Parse(config string, bind Bindings) (*Pipeline, error) {
+	p := &parser{bind: bind, nodes: map[string]*node{}}
+	if err := p.run(config); err != nil {
+		return nil, err
+	}
+	return buildPipeline(p.nodes, p.declOrder)
+}
+
+type parser struct {
+	bind      Bindings
+	nodes     map[string]*node
+	declOrder []string
+	anon      int
+}
+
+func (p *parser) run(config string) error {
+	// Strip comments.
+	var sb strings.Builder
+	for _, line := range strings.Split(config, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	for sn, stmt := range strings.Split(sb.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if err := p.statement(stmt); err != nil {
+			return fmt.Errorf("statement %d (%q): %w", sn+1, stmt, err)
+		}
+	}
+	return nil
+}
+
+func (p *parser) statement(stmt string) error {
+	parts := strings.Split(stmt, "->")
+	if len(parts) == 1 {
+		_, _, err := p.endpoint(parts[0])
+		return err
+	}
+	prevName, prevOut, err := p.endpoint(parts[0])
+	if err != nil {
+		return err
+	}
+	for _, part := range parts[1:] {
+		name, out, err := p.endpoint(part)
+		if err != nil {
+			return err
+		}
+		if err := p.connect(prevName, prevOut, name); err != nil {
+			return err
+		}
+		prevName, prevOut = name, out
+	}
+	return nil
+}
+
+// endpoint parses "name", "name[2]", or an inline "name :: Class(...)",
+// returning the element name and the selected output (default 0).
+func (p *parser) endpoint(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, fmt.Errorf("empty endpoint")
+	}
+	if strings.Contains(s, "::") {
+		halves := strings.SplitN(s, "::", 2)
+		name := strings.TrimSpace(halves[0])
+		if name == "" {
+			p.anon++
+			name = fmt.Sprintf("_anon%d", p.anon)
+		}
+		if err := p.declare(name, strings.TrimSpace(halves[1])); err != nil {
+			return "", 0, err
+		}
+		return name, 0, nil
+	}
+	out := 0
+	if i := strings.Index(s, "["); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return "", 0, fmt.Errorf("malformed output selector %q", s)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(s[i+1 : len(s)-1]))
+		if err != nil {
+			return "", 0, fmt.Errorf("output selector %q: %w", s, err)
+		}
+		out = v
+		s = strings.TrimSpace(s[:i])
+	}
+	if _, ok := p.nodes[s]; !ok {
+		return "", 0, fmt.Errorf("unknown element %q", s)
+	}
+	return s, out, nil
+}
+
+// declare instantiates "Class(args)" under name.
+func (p *parser) declare(name, classExpr string) error {
+	if _, dup := p.nodes[name]; dup {
+		return fmt.Errorf("element %q declared twice", name)
+	}
+	class := classExpr
+	var args []string
+	if i := strings.Index(classExpr, "("); i >= 0 {
+		if !strings.HasSuffix(classExpr, ")") {
+			return fmt.Errorf("malformed class expression %q", classExpr)
+		}
+		class = strings.TrimSpace(classExpr[:i])
+		inner := strings.TrimSpace(classExpr[i+1 : len(classExpr)-1])
+		if inner != "" {
+			for _, a := range strings.Split(inner, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+	}
+	el, err := p.construct(class, args)
+	if err != nil {
+		return err
+	}
+	p.nodes[name] = &node{name: name, el: el, out: make([]string, el.NumOutputs())}
+	p.declOrder = append(p.declOrder, name)
+	return nil
+}
+
+// construct builds an element from its class name and arguments.
+func (p *parser) construct(class string, args []string) (Element, error) {
+	argN := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing argument %d", class, i)
+		}
+		return strconv.Atoi(args[i])
+	}
+	bound := func(i int) (any, error) {
+		if i >= len(args) {
+			return nil, fmt.Errorf("%s: missing argument %d", class, i)
+		}
+		if !strings.HasPrefix(args[i], "$") {
+			return nil, fmt.Errorf("%s: argument %q must be a $binding", class, args[i])
+		}
+		v, ok := p.bind[args[i][1:]]
+		if !ok {
+			return nil, fmt.Errorf("%s: unbound %s", class, args[i])
+		}
+		return v, nil
+	}
+	switch class {
+	case "CheckIPHeader":
+		return &CheckIPHeader{}, nil
+	case "DecTTL":
+		return &DecTTL{}, nil
+	case "Classifier":
+		return &Classifier{}, nil
+	case "Counter":
+		return &Counter{}, nil
+	case "Discard":
+		return &Discard{}, nil
+	case "VLANDecap":
+		return &VLANDecap{}, nil
+	case "VLANEncap":
+		vid, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return &VLANEncap{VID: uint16(vid)}, nil
+	case "ToPort":
+		port, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		return &ToPort{Port: port}, nil
+	case "ToHop":
+		ports, err := argN(0)
+		if err != nil {
+			return nil, err
+		}
+		if ports <= 0 {
+			return nil, fmt.Errorf("ToHop: ports must be positive")
+		}
+		return &ToHop{Ports: ports}, nil
+	case "LookupIPv4":
+		v, err := bound(0)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := v.(*lookupv4.Table)
+		if !ok {
+			return nil, fmt.Errorf("LookupIPv4: binding is %T, want *ipv4.Table", v)
+		}
+		return &LookupIPv4{Table: tbl}, nil
+	default:
+		return nil, fmt.Errorf("unknown element class %q", class)
+	}
+}
+
+func (p *parser) connect(from string, out int, to string) error {
+	n := p.nodes[from]
+	if out < 0 || out >= len(n.out) {
+		return fmt.Errorf("%s has no output %d (%d outputs)", from, out, len(n.out))
+	}
+	if n.out[out] != "" {
+		return fmt.Errorf("%s[%d] already connected to %s", from, out, n.out[out])
+	}
+	if p.nodes[to] == nil {
+		return fmt.Errorf("unknown element %q", to)
+	}
+	n.out[out] = to
+	return nil
+}

@@ -1,0 +1,189 @@
+package modular
+
+import (
+	"fmt"
+
+	"packetshader/internal/core"
+	"packetshader/internal/hw/gpu"
+)
+
+// Pipeline is a compiled element graph implementing core.App: elements
+// upstream of the GPU element run in pre-shading, the GPU element's
+// kernel in the shading step, and everything downstream in
+// post-shading. The unused edge "" drops packets.
+type Pipeline struct {
+	nodes map[string]*node
+	entry string
+	// gpuName is the offloadable element ("" = pure CPU pipeline).
+	gpuName string
+	gpuEl   GPUElement
+}
+
+// buildPipeline validates the graph: exactly one entry (an element with
+// no incoming edges), at most one GPU element, and no cycles.
+func buildPipeline(nodes map[string]*node, declOrder []string) (*Pipeline, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("modular: empty configuration")
+	}
+	incoming := map[string]int{}
+	for _, n := range nodes {
+		for _, to := range n.out {
+			if to != "" {
+				incoming[to]++
+			}
+		}
+	}
+	p := &Pipeline{nodes: nodes}
+	for _, name := range declOrder {
+		if incoming[name] == 0 {
+			if p.entry != "" {
+				return nil, fmt.Errorf("modular: multiple entry elements (%s and %s)", p.entry, name)
+			}
+			p.entry = name
+		}
+		if g, ok := nodes[name].el.(GPUElement); ok {
+			if p.gpuName != "" {
+				return nil, fmt.Errorf("modular: more than one GPU element (%s and %s); the framework runs one kernel at a time (§7)", p.gpuName, name)
+			}
+			p.gpuName = name
+			p.gpuEl = g
+		}
+	}
+	if p.entry == "" {
+		return nil, fmt.Errorf("modular: no entry element (cycle?)")
+	}
+	// Cycle check: DFS.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case grey:
+			return fmt.Errorf("modular: cycle through %s", name)
+		case black:
+			return nil
+		}
+		color[name] = grey
+		for _, to := range nodes[name].out {
+			if to == "" {
+				continue
+			}
+			if err := visit(to); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	if err := visit(p.entry); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Entry returns the entry element's name.
+func (p *Pipeline) Entry() string { return p.entry }
+
+// ElementByName returns a declared element (for reading counters).
+func (p *Pipeline) ElementByName(name string) Element {
+	if n := p.nodes[name]; n != nil {
+		return n.el
+	}
+	return nil
+}
+
+// pipeState carries the per-chunk context and the GPU element's pending
+// input between the shading phases.
+type pipeState struct {
+	ctx     *Ctx
+	gpuIdxs []int
+}
+
+// Name implements core.App.
+func (p *Pipeline) Name() string { return "modular-pipeline" }
+
+// Kernel implements core.App.
+func (p *Pipeline) Kernel() *gpu.KernelSpec {
+	if p.gpuEl != nil {
+		return p.gpuEl.Kernel()
+	}
+	return &gpu.KernelSpec{Name: "cpu-only-pipeline"}
+}
+
+// run walks the graph from (name, idxs), stopping paths that reach the
+// GPU element when stopAtGPU is set (collecting their indices).
+func (p *Pipeline) run(st *pipeState, name string, idxs []int, stopAtGPU bool) float64 {
+	if len(idxs) == 0 {
+		return 0
+	}
+	if stopAtGPU && name == p.gpuName {
+		st.gpuIdxs = append(st.gpuIdxs, idxs...)
+		return 0
+	}
+	n := p.nodes[name]
+	outs, cycles := n.el.Process(st.ctx, idxs)
+	for k, outIdxs := range outs {
+		if len(outIdxs) == 0 {
+			continue
+		}
+		if k < len(n.out) && n.out[k] != "" {
+			cycles += p.run(st, n.out[k], outIdxs, stopAtGPU)
+		} else {
+			// Unwired output: drop.
+			for _, i := range outIdxs {
+				st.ctx.Chunk.OutPorts[i] = -1
+			}
+		}
+	}
+	return cycles
+}
+
+// PreShade implements core.App: run the graph up to the GPU element.
+func (p *Pipeline) PreShade(c *core.Chunk) core.PreResult {
+	st := &pipeState{ctx: NewCtx(c)}
+	c.State = st
+	all := make([]int, len(c.Bufs))
+	for i := range all {
+		all[i] = i
+		c.OutPorts[i] = -1
+	}
+	cycles := p.run(st, p.entry, all, p.gpuEl != nil)
+	res := core.PreResult{CPUCycles: cycles}
+	if p.gpuEl != nil && len(st.gpuIdxs) > 0 {
+		res.Threads, res.InBytes, res.OutBytes, res.StreamBytes =
+			p.gpuEl.Gather(st.ctx, st.gpuIdxs)
+	}
+	return res
+}
+
+// RunKernel implements core.App.
+func (p *Pipeline) RunKernel(c *core.Chunk) {
+	st := c.State.(*pipeState)
+	if p.gpuEl != nil && len(st.gpuIdxs) > 0 {
+		p.gpuEl.RunKernel(st.ctx, st.gpuIdxs)
+	}
+}
+
+// PostShade implements core.App: resume the graph from the GPU element.
+func (p *Pipeline) PostShade(c *core.Chunk) float64 {
+	st := c.State.(*pipeState)
+	if p.gpuEl == nil || len(st.gpuIdxs) == 0 {
+		return 0
+	}
+	return p.run(st, p.gpuName, st.gpuIdxs, false)
+}
+
+// CPUWork implements core.App: the GPU element's work on the CPU.
+func (p *Pipeline) CPUWork(c *core.Chunk) float64 {
+	st := c.State.(*pipeState)
+	if p.gpuEl == nil || len(st.gpuIdxs) == 0 {
+		return 0
+	}
+	cycles := p.gpuEl.CPUCycles(st.ctx, st.gpuIdxs)
+	p.gpuEl.RunKernel(st.ctx, st.gpuIdxs)
+	return cycles
+}

@@ -1,0 +1,112 @@
+// Package openflow implements the data path of an OpenFlow 0.8.9r2
+// switch as PacketShader evaluates it (§6.2.3): exact-match lookup in a
+// hash table over the 10-field flow key, and priority-ordered linear
+// search over a wildcard table (as the OpenFlow reference implementation
+// does in software, where hardware would use a TCAM).
+package openflow
+
+import (
+	"encoding/binary"
+
+	"packetshader/internal/packet"
+)
+
+// FlowKey is the 10-field OpenFlow 0.8.9 flow tuple.
+type FlowKey struct {
+	InPort  uint16
+	DlSrc   packet.MAC
+	DlDst   packet.MAC
+	DlVLAN  uint16 // packet.VLANNone if untagged
+	DlType  uint16
+	NwSrc   packet.IPv4Addr
+	NwDst   packet.IPv4Addr
+	NwProto uint8
+	TpSrc   uint16
+	TpDst   uint16
+}
+
+// keyBytesLen is the serialized key length (padded to 32 for hashing).
+const keyBytesLen = 32
+
+// Bytes serializes the key into a fixed 32-byte array (zero padded).
+func (k *FlowKey) Bytes() [keyBytesLen]byte {
+	var b [keyBytesLen]byte
+	binary.BigEndian.PutUint16(b[0:2], k.InPort)
+	copy(b[2:8], k.DlSrc[:])
+	copy(b[8:14], k.DlDst[:])
+	binary.BigEndian.PutUint16(b[14:16], k.DlVLAN)
+	binary.BigEndian.PutUint16(b[16:18], k.DlType)
+	binary.BigEndian.PutUint32(b[18:22], uint32(k.NwSrc))
+	binary.BigEndian.PutUint32(b[22:26], uint32(k.NwDst))
+	b[26] = k.NwProto
+	binary.BigEndian.PutUint16(b[27:29], k.TpSrc)
+	binary.BigEndian.PutUint16(b[29:31], k.TpDst)
+	return b
+}
+
+// Hash computes the flow key's hash — the computation PacketShader
+// offloads to the GPU for large tables. FNV-1a over the serialized key.
+func (k *FlowKey) Hash() uint32 {
+	b := k.Bytes()
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}
+
+// ExtractKey builds the flow key from a decoded packet, as the switch's
+// pre-shading step does. Fields of absent layers are zero, per the spec.
+func ExtractKey(d *packet.Decoder, inPort uint16) FlowKey {
+	k := FlowKey{
+		InPort: inPort,
+		DlSrc:  d.Eth.Src,
+		DlDst:  d.Eth.Dst,
+		DlVLAN: d.VLANID,
+		DlType: d.Eth.EtherType,
+	}
+	if d.VLANID != packet.VLANNone {
+		// The type of interest is the encapsulated one.
+		if d.Has(packet.LayerIPv4) {
+			k.DlType = packet.EtherTypeIPv4
+		}
+	}
+	if d.Has(packet.LayerIPv4) {
+		k.NwSrc = d.IPv4.Src
+		k.NwDst = d.IPv4.Dst
+		k.NwProto = d.IPv4.Protocol
+	}
+	switch {
+	case d.Has(packet.LayerUDP):
+		k.TpSrc, k.TpDst = d.UDP.SrcPort, d.UDP.DstPort
+	case d.Has(packet.LayerTCP):
+		k.TpSrc, k.TpDst = d.TCP.SrcPort, d.TCP.DstPort
+	}
+	return k
+}
+
+// ActionType enumerates the data-path actions we implement.
+type ActionType uint8
+
+// Supported actions.
+const (
+	ActionOutput ActionType = iota // forward to Port
+	ActionDrop
+	ActionController // punt to the controller path
+	ActionFlood      // send to all ports but the ingress
+)
+
+// Action is a flow's action list: optional header modifications applied
+// in order, then the terminal disposition (output/drop/flood/punt).
+type Action struct {
+	Type ActionType
+	Port uint16
+	// Mods are the OpenFlow 0.8.9 header-modify actions executed before
+	// the packet is emitted.
+	Mods []Mod
+}

@@ -1,0 +1,77 @@
+package packet
+
+import "packetshader/internal/sim"
+
+// Buf is the unit of packet exchange inside the simulation: frame bytes
+// plus receive metadata. It plays the role of the huge-packet-buffer cell
+// plus its 8-byte compact metadata (§4.2); the simulation-only fields
+// (timestamps) exist for measurement.
+type Buf struct {
+	// Data is the frame (FCS excluded, as in the paper's size metric).
+	Data []byte
+	// Port and Queue identify where the packet was received.
+	Port  int
+	Queue int
+	// Hash is the RSS hash computed by the NIC.
+	Hash uint32
+	// GenAt is the generator's send timestamp (for round-trip latency).
+	GenAt sim.Time
+	// backing is the full-capacity array the Buf was allocated with.
+	backing []byte
+	pool    *BufPool
+}
+
+// Size returns the frame length in bytes.
+func (b *Buf) Size() int { return len(b.Data) }
+
+// Reset re-slices Data to n bytes of the backing array.
+func (b *Buf) Reset(n int) {
+	if n > cap(b.backing) {
+		n = cap(b.backing)
+	}
+	b.Data = b.backing[:n]
+}
+
+// Release returns the Buf to its pool (no-op for pool-less Bufs).
+func (b *Buf) Release() {
+	if b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// BufPool recycles Bufs with fixed-capacity backing storage, mirroring
+// the huge packet buffer's fixed 2048-byte cells: the hot path performs
+// no per-packet allocation once the pool is warm.
+type BufPool struct {
+	cell int
+	free []*Buf
+	// Allocs counts pool misses (new cell allocations), for tests.
+	Allocs int
+}
+
+// NewBufPool creates a pool of cells of the given capacity.
+func NewBufPool(cellBytes int) *BufPool {
+	return &BufPool{cell: cellBytes}
+}
+
+// Get returns a Buf with Data sized to n bytes.
+func (p *BufPool) Get(n int) *Buf {
+	var b *Buf
+	if len(p.free) > 0 {
+		b = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	} else {
+		p.Allocs++
+		b = &Buf{backing: make([]byte, p.cell), pool: p}
+	}
+	b.Port, b.Queue, b.Hash, b.GenAt = 0, 0, 0, 0
+	b.Reset(n)
+	return b
+}
+
+func (p *BufPool) put(b *Buf) {
+	p.free = append(p.free, b)
+}
+
+// FreeCount returns the number of pooled cells (for tests).
+func (p *BufPool) FreeCount() int { return len(p.free) }

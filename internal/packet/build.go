@@ -1,0 +1,70 @@
+package packet
+
+import "encoding/binary"
+
+// BuildUDP4 assembles an Ethernet/IPv4/UDP frame of exactly size bytes
+// (64 ≤ size ≤ 1514, FCS excluded, matching the paper's size metric) into
+// dst, which must have capacity ≥ size. It returns the frame slice.
+// The UDP payload is zero-filled.
+func BuildUDP4(dst []byte, size int, srcMAC, dstMAC MAC, src, dstIP IPv4Addr, srcPort, dstPort uint16) []byte {
+	if size < EthHdrLen+IPv4HdrLen+UDPHdrLen {
+		size = EthHdrLen + IPv4HdrLen + UDPHdrLen
+	}
+	b := dst[:size]
+	clear(b)
+	eth := EthernetHdr{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	eth.Encode(b)
+	ipLen := size - EthHdrLen
+	ip := IPv4Hdr{
+		IHL: 5, TotalLen: uint16(ipLen), TTL: 64, Protocol: ProtoUDP,
+		Src: src, Dst: dstIP,
+	}
+	ip.Encode(b[EthHdrLen:])
+	udp := UDPHdr{
+		SrcPort: srcPort, DstPort: dstPort,
+		Length: uint16(ipLen - IPv4HdrLen),
+	}
+	udp.Encode(b[EthHdrLen+IPv4HdrLen:])
+	return b
+}
+
+// BuildUDP6 assembles an Ethernet/IPv6/UDP frame of exactly size bytes.
+func BuildUDP6(dst []byte, size int, srcMAC, dstMAC MAC, src, dstIP IPv6Addr, srcPort, dstPort uint16) []byte {
+	if size < EthHdrLen+IPv6HdrLen+UDPHdrLen {
+		size = EthHdrLen + IPv6HdrLen + UDPHdrLen
+	}
+	b := dst[:size]
+	clear(b)
+	eth := EthernetHdr{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv6}
+	eth.Encode(b)
+	payload := size - EthHdrLen - IPv6HdrLen
+	ip := IPv6Hdr{
+		PayloadLen: uint16(payload), NextHeader: ProtoUDP, HopLimit: 64,
+		Src: src, Dst: dstIP,
+	}
+	ip.Encode(b[EthHdrLen:])
+	udp := UDPHdr{SrcPort: srcPort, DstPort: dstPort, Length: uint16(payload)}
+	udp.Encode(b[EthHdrLen+IPv6HdrLen:])
+	return b
+}
+
+// SetTimestamp stores a generator timestamp in the UDP payload of an
+// IPv4 frame built with BuildUDP4, for round-trip latency measurement.
+// It reports whether the frame had room.
+func SetTimestamp(frame []byte, ts int64) bool {
+	off := EthHdrLen + IPv4HdrLen + UDPHdrLen
+	if len(frame) < off+8 {
+		return false
+	}
+	binary.BigEndian.PutUint64(frame[off:], uint64(ts))
+	return true
+}
+
+// Timestamp retrieves a timestamp stored by SetTimestamp.
+func Timestamp(frame []byte) (int64, bool) {
+	off := EthHdrLen + IPv4HdrLen + UDPHdrLen
+	if len(frame) < off+8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(frame[off:])), true
+}

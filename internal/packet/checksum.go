@@ -1,0 +1,74 @@
+package packet
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum over b.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sumWords(b, 0))
+}
+
+// sumWords adds the 16-bit big-endian words of b to acc (odd trailing
+// byte padded with zero, per RFC 1071).
+func sumWords(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdateTTLDecrement incrementally updates an IPv4 header
+// checksum for a TTL decrement, per RFC 1624 (eqn. 3): the router's fast
+// path must not recompute the full header sum for every packet.
+// old16 is the big-endian 16-bit word containing {TTL, protocol} before
+// the decrement.
+func ChecksumUpdateTTLDecrement(oldSum uint16, old16 uint16) uint16 {
+	new16 := old16 - 0x0100 // TTL is the high byte of the word
+	// HC' = ~(~HC + ~m + m')
+	sum := uint32(^oldSum) + uint32(^old16&0xffff) + uint32(new16)
+	return finishChecksum(sum) // finish already complements
+}
+
+// ChecksumUpdate16 incrementally updates a checksum for one 16-bit word
+// changing from old16 to new16 (RFC 1624 eqn. 3).
+func ChecksumUpdate16(oldSum, old16, new16 uint16) uint16 {
+	sum := uint32(^oldSum) + uint32(^old16&0xffff) + uint32(new16)
+	return finishChecksum(sum)
+}
+
+// ChecksumUpdate32 incrementally updates a checksum for a 32-bit field
+// (e.g. an IPv4 address) changing from old32 to new32.
+func ChecksumUpdate32(oldSum uint16, old32, new32 uint32) uint16 {
+	s := ChecksumUpdate16(oldSum, uint16(old32>>16), uint16(new32>>16))
+	return ChecksumUpdate16(s, uint16(old32), uint16(new32))
+}
+
+// PseudoHeaderChecksumIPv4 computes the checksum seed of the IPv4
+// pseudo-header used by UDP and TCP.
+func PseudoHeaderChecksumIPv4(src, dst IPv4Addr, proto uint8, length int) uint32 {
+	var acc uint32
+	acc += uint32(src >> 16)
+	acc += uint32(src & 0xffff)
+	acc += uint32(dst >> 16)
+	acc += uint32(dst & 0xffff)
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}
+
+// TransportChecksumIPv4 computes the UDP/TCP checksum over segment
+// (headers+payload) with the IPv4 pseudo-header.
+func TransportChecksumIPv4(src, dst IPv4Addr, proto uint8, segment []byte) uint16 {
+	acc := PseudoHeaderChecksumIPv4(src, dst, proto, len(segment))
+	return finishChecksum(sumWords(segment, acc))
+}

@@ -1,0 +1,107 @@
+package packet
+
+import "encoding/binary"
+
+// Layer identifies a decoded protocol layer.
+type Layer uint8
+
+// Layers reported by Decoder.Decode.
+const (
+	LayerEthernet Layer = iota
+	LayerVLAN
+	LayerIPv4
+	LayerIPv6
+	LayerUDP
+	LayerTCP
+	LayerESP
+	LayerPayload
+)
+
+// Decoder decodes a frame into preallocated header structs without
+// allocating (the DecodingLayerParser pattern): construct one Decoder per
+// worker thread and reuse it for every packet of a chunk.
+type Decoder struct {
+	Eth    EthernetHdr
+	VLANID uint16 // 0xffff if untagged
+	IPv4   IPv4Hdr
+	IPv6   IPv6Hdr
+	UDP    UDPHdr
+	TCP    TCPHdr
+
+	// Payload is the innermost undecoded payload.
+	Payload []byte
+	// Decoded lists the layers found, in order.
+	Decoded []Layer
+
+	scratch [8]Layer
+}
+
+// VLANNone is the VLANID value for untagged frames.
+const VLANNone = 0xffff
+
+// Decode parses frame starting at Ethernet. It stops (without error) at
+// the first layer it does not understand, leaving it in Payload.
+func (d *Decoder) Decode(frame []byte) error {
+	d.Decoded = d.scratch[:0]
+	d.VLANID = VLANNone
+	b, err := d.Eth.Decode(frame)
+	if err != nil {
+		return err
+	}
+	d.Decoded = append(d.Decoded, LayerEthernet)
+	et := d.Eth.EtherType
+	if et == EtherTypeVLAN {
+		if len(b) < VLANTagLen {
+			return ErrTruncated
+		}
+		d.VLANID = binary.BigEndian.Uint16(b[0:2]) & 0x0fff
+		et = binary.BigEndian.Uint16(b[2:4])
+		b = b[VLANTagLen:]
+		d.Decoded = append(d.Decoded, LayerVLAN)
+	}
+	var proto uint8
+	switch et {
+	case EtherTypeIPv4:
+		if b, err = d.IPv4.Decode(b); err != nil {
+			return err
+		}
+		d.Decoded = append(d.Decoded, LayerIPv4)
+		proto = d.IPv4.Protocol
+	case EtherTypeIPv6:
+		if b, err = d.IPv6.Decode(b); err != nil {
+			return err
+		}
+		d.Decoded = append(d.Decoded, LayerIPv6)
+		proto = d.IPv6.NextHeader
+	default:
+		d.Payload = b
+		d.Decoded = append(d.Decoded, LayerPayload)
+		return nil
+	}
+	switch proto {
+	case ProtoUDP:
+		if b, err = d.UDP.Decode(b); err != nil {
+			return err
+		}
+		d.Decoded = append(d.Decoded, LayerUDP)
+	case ProtoTCP:
+		if b, err = d.TCP.Decode(b); err != nil {
+			return err
+		}
+		d.Decoded = append(d.Decoded, LayerTCP)
+	case ProtoESP:
+		d.Decoded = append(d.Decoded, LayerESP)
+	}
+	d.Payload = b
+	return nil
+}
+
+// Has reports whether layer l was decoded by the last Decode.
+func (d *Decoder) Has(l Layer) bool {
+	for _, x := range d.Decoded {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

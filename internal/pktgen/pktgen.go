@@ -1,0 +1,174 @@
+// Package pktgen is the traffic generator and sink of §6.1: it
+// synthesizes UDP flows with random addresses and ports (so IP
+// forwarding and OpenFlow look up a different entry for every packet),
+// drives the NIC model's offered load, and measures round-trip latency
+// from embedded timestamps, as the paper's generator does.
+package pktgen
+
+import (
+	"math"
+
+	"packetshader/internal/hw/nic"
+	"packetshader/internal/packet"
+	"packetshader/internal/route"
+	"packetshader/internal/sim"
+)
+
+// splitmix64 is the per-packet deterministic PRNG: frame i of a queue is
+// always the same frame, independent of fetch timing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var (
+	genSrcMAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	genDstMAC = packet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// UDP4Source generates IPv4/UDP frames. If Table is non-empty,
+// destination addresses are drawn by picking a table prefix and
+// randomizing its host bits, so every packet hits the FIB ("looks up a
+// different entry for every packet"); otherwise destinations are
+// uniformly random 32-bit addresses.
+type UDP4Source struct {
+	Size  int
+	Seed  uint64
+	Table []route.Entry
+	// Stamp embeds the generation timestamp in the payload when the
+	// frame has room (latency experiments).
+	Stamp bool
+}
+
+// Fill implements nic.FrameSource.
+func (s *UDP4Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
+	r := splitmix64(s.Seed ^ uint64(port)<<48 ^ uint64(queue)<<40 ^ seq)
+	r2 := splitmix64(r)
+	var dst packet.IPv4Addr
+	if len(s.Table) > 0 {
+		e := s.Table[int(r%uint64(len(s.Table)))]
+		host := uint32(r2) &^ e.Prefix.Mask()
+		dst = packet.IPv4Addr(uint32(e.Prefix.Addr) | host)
+	} else {
+		dst = packet.IPv4Addr(uint32(r))
+	}
+	src := packet.IPv4Addr(uint32(r2 >> 32))
+	frame := packet.BuildUDP4(b.Data[:cap(b.Data)], s.Size, genSrcMAC, genDstMAC,
+		src, dst, uint16(r2>>16), uint16(r2))
+	b.Data = frame
+	b.Hash = nic.RSSHashIPv4(nic.DefaultRSSKey[:], uint32(src), uint32(dst),
+		uint16(r2>>16), uint16(r2))
+	if s.Stamp {
+		packet.SetTimestamp(frame, int64(b.GenAt))
+	}
+}
+
+// UDP6Source generates IPv6/UDP frames with destinations drawn from an
+// IPv6 table (or uniformly random when Table is empty).
+type UDP6Source struct {
+	Size  int
+	Seed  uint64
+	Table []route.Entry6
+}
+
+// Fill implements nic.FrameSource.
+func (s *UDP6Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
+	r := splitmix64(s.Seed ^ uint64(port)<<48 ^ uint64(queue)<<40 ^ seq)
+	r2 := splitmix64(r)
+	r3 := splitmix64(r2)
+	var dst packet.IPv6Addr
+	if len(s.Table) > 0 {
+		e := s.Table[int(r%uint64(len(s.Table)))]
+		mh, ml := route.Mask6(e.Prefix6.Len)
+		dst = packet.IPv6AddrFromParts(e.Prefix6.Hi|(r2&^mh), e.Prefix6.Lo|(r3&^ml))
+	} else {
+		dst = packet.IPv6AddrFromParts(r2, r3)
+	}
+	src := packet.IPv6AddrFromParts(0x2001_0db8_0000_0000|r>>32, r)
+	frame := packet.BuildUDP6(b.Data[:cap(b.Data)], s.Size, genSrcMAC, genDstMAC,
+		src, dst, uint16(r3>>16), uint16(r3))
+	b.Data = frame
+}
+
+// ---------------------------------------------------------------------------
+// Latency measurement.
+// ---------------------------------------------------------------------------
+
+// LatencySink accumulates round-trip latency from Buf.GenAt to TX
+// completion. Attach Observe to nic.TxPort.OnComplete.
+type LatencySink struct {
+	Count uint64
+	sum   float64
+	min   sim.Duration
+	max   sim.Duration
+	// hist buckets latencies at 10µs granularity up to 10ms for
+	// percentile estimation.
+	hist [1000]uint64
+}
+
+// NewLatencySink returns an empty sink.
+func NewLatencySink() *LatencySink {
+	return &LatencySink{min: math.MaxInt64}
+}
+
+// Observe records one packet's completion.
+func (l *LatencySink) Observe(b *packet.Buf, at sim.Time) {
+	if b.GenAt == 0 {
+		return
+	}
+	d := sim.Duration(at - b.GenAt)
+	if d < 0 {
+		return
+	}
+	l.Count++
+	l.sum += d.Seconds()
+	if d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	bucket := int(d / (10 * sim.Microsecond))
+	if bucket >= len(l.hist) {
+		bucket = len(l.hist) - 1
+	}
+	l.hist[bucket]++
+}
+
+// MeanMicros returns the average latency in microseconds.
+func (l *LatencySink) MeanMicros() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.sum / float64(l.Count) * 1e6
+}
+
+// MinMicros and MaxMicros return the extremes in microseconds.
+func (l *LatencySink) MinMicros() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.min.Microseconds()
+}
+
+// MaxMicros returns the maximum observed latency.
+func (l *LatencySink) MaxMicros() float64 { return l.max.Microseconds() }
+
+// PercentileMicros returns an upper bound of the q-quantile (0<q<1)
+// from the 10µs histogram.
+func (l *LatencySink) PercentileMicros(q float64) float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(l.Count))
+	var cum uint64
+	for i, c := range l.hist {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * 10
+		}
+	}
+	return float64(len(l.hist)) * 10
+}

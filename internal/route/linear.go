@@ -1,0 +1,56 @@
+package route
+
+import "packetshader/internal/packet"
+
+// LinearLPM is a reference longest-prefix-match implementation (linear
+// scan over all prefixes). It is O(n) per lookup and exists purely as a
+// correctness oracle for the fast lookup structures in
+// internal/lookup/ipv4 and internal/lookup/ipv6.
+type LinearLPM struct {
+	entries []Entry
+}
+
+// NewLinearLPM builds an oracle over the given entries.
+func NewLinearLPM(entries []Entry) *LinearLPM {
+	cp := make([]Entry, len(entries))
+	copy(cp, entries)
+	return &LinearLPM{entries: cp}
+}
+
+// Lookup returns the next hop of the longest matching prefix, or NoRoute.
+func (l *LinearLPM) Lookup(addr packet.IPv4Addr) uint16 {
+	best := -1
+	hop := NoRoute
+	for _, e := range l.entries {
+		if int(e.Prefix.Len) > best && e.Prefix.Contains(addr) {
+			best = int(e.Prefix.Len)
+			hop = e.NextHop
+		}
+	}
+	return hop
+}
+
+// LinearLPM6 is the IPv6 reference oracle.
+type LinearLPM6 struct {
+	entries []Entry6
+}
+
+// NewLinearLPM6 builds an oracle over the given entries.
+func NewLinearLPM6(entries []Entry6) *LinearLPM6 {
+	cp := make([]Entry6, len(entries))
+	copy(cp, entries)
+	return &LinearLPM6{entries: cp}
+}
+
+// Lookup returns the next hop of the longest matching prefix, or NoRoute.
+func (l *LinearLPM6) Lookup(hi, lo uint64) uint16 {
+	best := -1
+	hop := NoRoute
+	for _, e := range l.entries {
+		if int(e.Prefix6.Len) > best && e.Prefix6.Contains(hi, lo) {
+			best = int(e.Prefix6.Len)
+			hop = e.NextHop
+		}
+	}
+	return hop
+}

@@ -1,0 +1,133 @@
+// Package sim is a deterministic, process-oriented discrete-event
+// simulation engine. It provides a virtual clock, cooperatively scheduled
+// processes (one runnable at a time, SimPy-style), blocking FIFO queues,
+// serializing servers for bandwidth links, and broadcast signals.
+//
+// All PacketShader hardware models (NICs, PCIe links, GPU, CPU cores) run
+// as sim processes, so every throughput and latency number reported by the
+// benchmark harness is measured in virtual hardware time and is therefore
+// independent of the host machine's speed and of Go's garbage collector.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute point on the virtual clock, in picoseconds. The
+// picosecond granularity keeps sub-nanosecond events (one 64B frame lasts
+// 6.7ns on a 10GbE link) exact while int64 still covers over 100 days of
+// simulated time.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// DurationFromSeconds converts seconds to a Duration, rounding to the
+// nearest picosecond.
+func DurationFromSeconds(s float64) Duration {
+	return Duration(s*float64(Second) + 0.5)
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create one with NewEnv.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yieldCh chan struct{} // a running proc signals here when it blocks or ends
+	nProcs  int           // live (started, unfinished) processes
+	running bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// fn runs in scheduler context and must not block; to perform blocking
+// work, have it wake a process instead.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// Run executes events until the queue drains or the clock passes until
+// (until <= 0 means run to completion). It returns the time of the last
+// executed event. Processes still blocked on queues when the event queue
+// drains are simply abandoned (their goroutines are released).
+func (e *Env) Run(until Time) Time {
+	if e.running {
+		panic("sim: Env.Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		if until > 0 && e.events.peek().at > until {
+			e.now = until
+			break
+		}
+		ev := e.events.popEvent()
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// resumeProc hands control to p and waits until p blocks again or ends.
+// Must only be called from scheduler context (inside an event fn).
+func (e *Env) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yieldCh
+}

@@ -1,0 +1,62 @@
+package sim
+
+// Proc is a simulated process: a goroutine that advances virtual time by
+// sleeping and by blocking on queues, servers, and signals. Exactly one
+// process (or the scheduler) runs at any instant, so simulations are
+// deterministic and need no locking.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name given at Go time (for debugging).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go starts fn as a new process, scheduled to begin at the current virtual
+// time (after already-queued events at the same instant).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nProcs++
+	go func() {
+		<-p.resume // wait for first scheduling
+		fn(p)
+		p.done = true
+		e.nProcs--
+		e.yieldCh <- struct{}{} // return control to the scheduler
+	}()
+	e.At(e.now, func() { e.resumeProc(p) })
+	return p
+}
+
+// yield returns control to the scheduler and blocks until resumed.
+func (p *Proc) yield() {
+	p.env.yieldCh <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time. Negative or zero
+// durations still yield (allowing same-instant events to interleave
+// deterministically in FIFO order).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	env := p.env
+	env.After(d, func() { env.resumeProc(p) })
+	p.yield()
+}
+
+// SleepUntil sleeps until absolute time t (no-op if t is in the past,
+// but still yields).
+func (p *Proc) SleepUntil(t Time) {
+	d := Duration(t - p.env.now)
+	p.Sleep(d)
+}

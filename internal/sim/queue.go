@@ -1,0 +1,114 @@
+package sim
+
+// Queue is a bounded FIFO channel between simulated processes. Get blocks
+// the calling process while the queue is empty; Put blocks while it is
+// full. Waiters are released in FIFO order, keeping simulations
+// deterministic. A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	env     *Env
+	cap     int
+	items   []T
+	getters []*Proc
+	putters []*Proc
+}
+
+// NewQueue creates a queue in env with the given capacity (0 = unbounded).
+func NewQueue[T any](env *Env, capacity int) *Queue[T] {
+	return &Queue[T]{env: env, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+func (q *Queue[T]) full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// wake schedules proc to resume at the current instant.
+func (q *Queue[T]) wake(p *Proc) {
+	env := q.env
+	env.At(env.now, func() { env.resumeProc(p) })
+}
+
+// Put appends v, blocking p while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.full() {
+		q.putters = append(q.putters, p)
+		p.yield()
+	}
+	q.items = append(q.items, v)
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.wake(g)
+	}
+}
+
+// TryPut appends v if there is room and reports whether it did. It never
+// blocks, so it is also safe to call from scheduler context.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.full() {
+		return false
+	}
+	q.items = append(q.items, v)
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.wake(g)
+	}
+	return true
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.yield()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		q.wake(w)
+	}
+	return v
+}
+
+// TryGet removes and returns the head item without blocking. ok is false
+// if the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		q.wake(w)
+	}
+	return v, true
+}
+
+// DrainUpTo removes and returns at most n items without blocking.
+func (q *Queue[T]) DrainUpTo(n int) []T {
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	copy(out, q.items[:n])
+	q.items = q.items[n:]
+	for n > 0 && len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		q.wake(w)
+		n--
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package sim
+
+// Server is a FIFO single-server resource: a hardware unit (DMA engine,
+// PCIe link, GPU copy engine) that handles one request at a time. Use
+// charges the caller the service duration plus any queueing delay behind
+// earlier requests. This serializing behaviour is what creates contention
+// on shared links in the simulation.
+type Server struct {
+	env  *Env
+	name string
+	// freeAt is the virtual time at which the server finishes its
+	// currently queued work.
+	freeAt Time
+	// busy accumulates total service time, for utilization accounting.
+	busy Duration
+}
+
+// NewServer creates a named FIFO server.
+func NewServer(env *Env, name string) *Server {
+	return &Server{env: env, name: name}
+}
+
+// Use blocks p until the server has completed all earlier requests and
+// then for d of service time. It returns the total time p waited
+// (queueing + service).
+func (s *Server) Use(p *Proc, d Duration) Duration {
+	start := s.env.now
+	if s.freeAt < start {
+		s.freeAt = start
+	}
+	s.freeAt += Time(d)
+	s.busy += d
+	p.SleepUntil(s.freeAt)
+	return Duration(s.env.now - start)
+}
+
+// Schedule reserves d of service time without blocking and returns the
+// completion time. Useful for fire-and-forget DMA where the initiator
+// does not wait (e.g. NIC TX descriptors).
+func (s *Server) Schedule(d Duration) Time {
+	now := s.env.now
+	if s.freeAt < now {
+		s.freeAt = now
+	}
+	s.freeAt += Time(d)
+	s.busy += d
+	return s.freeAt
+}
+
+// Now returns the server's environment time (convenience for callers
+// computing express completions).
+func (s *Server) Now() Time { return s.env.now }
+
+// ScheduleAt reserves d of service time that may not begin before
+// notBefore (used to express pipeline dependencies: "this copy starts
+// only after that kernel finishes"). Returns the completion time.
+func (s *Server) ScheduleAt(notBefore Time, d Duration) Time {
+	now := s.env.now
+	if s.freeAt < now {
+		s.freeAt = now
+	}
+	if s.freeAt < notBefore {
+		s.freeAt = notBefore
+	}
+	s.freeAt += Time(d)
+	s.busy += d
+	return s.freeAt
+}
+
+// Backlog returns how far in the future the server's queue currently
+// extends.
+func (s *Server) Backlog() Duration {
+	if s.freeAt <= s.env.now {
+		return 0
+	}
+	return Duration(s.freeAt - s.env.now)
+}
+
+// BusyTime returns the cumulative service time charged so far.
+func (s *Server) BusyTime() Duration { return s.busy }
+
+// Utilization returns busy time divided by elapsed time since t0.
+func (s *Server) Utilization(t0 Time) float64 {
+	elapsed := s.env.now - t0
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(elapsed)
+}
+
+// Signal is a broadcast condition: processes Wait on it and a later Fire
+// releases all current waiters at the same instant. Fires with no waiters
+// are not remembered (it is a condition variable, not a latch).
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal creates a signal in env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// Fire wakes every process currently waiting, in FIFO order.
+func (s *Signal) Fire() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.env.At(s.env.now, func() { s.env.resumeProc(w) })
+	}
+}
+
+// Waiters returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }

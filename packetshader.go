@@ -1,0 +1,215 @@
+// Package packetshader is a faithful Go reproduction of "PacketShader:
+// a GPU-Accelerated Software Router" (Han, Jang, Park, Moon — SIGCOMM
+// 2010), built over a calibrated virtual-time model of the paper's
+// testbed (2× Xeon X5550, 2× GTX480, 8× 10GbE, dual-IOH board).
+//
+// This top-level package is the library facade: it assembles the four
+// evaluated applications (IPv4/IPv6 forwarding, OpenFlow switching,
+// IPsec tunneling) into ready-to-run router instances and reports the
+// paper's metrics. The building blocks live under internal/: the
+// discrete-event engine (internal/sim), hardware models
+// (internal/hw/...), the packet I/O engine (internal/pktio), the
+// framework (internal/core), the applications (internal/apps), and the
+// table/figure reproductions (internal/experiments).
+//
+// Quick start:
+//
+//	inst, _ := packetshader.IPv4(100000, 42, packetshader.WithMode(packetshader.ModeGPU))
+//	report := inst.Run(20 * packetshader.Millisecond)
+//	fmt.Printf("%.1f Gbps\n", report.DeliveredGbps)
+package packetshader
+
+import (
+	"packetshader/internal/apps"
+	"packetshader/internal/core"
+	"packetshader/internal/model"
+	"packetshader/internal/openflow"
+	"packetshader/internal/packet"
+	"packetshader/internal/pktgen"
+	"packetshader/internal/route"
+	"packetshader/internal/sim"
+
+	lookupv4 "packetshader/internal/lookup/ipv4"
+	lookupv6 "packetshader/internal/lookup/ipv6"
+)
+
+// Re-exported virtual-time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Duration is virtual time (picoseconds).
+type Duration = sim.Duration
+
+// Mode selects CPU-only or GPU-accelerated operation.
+type Mode = core.Mode
+
+// Operating modes (§6.1: CPU-only runs four workers per NUMA node;
+// CPU+GPU runs three workers plus a GPU master).
+const (
+	ModeCPUOnly = core.ModeCPUOnly
+	ModeGPU     = core.ModeGPU
+)
+
+// NumPorts is the testbed's port count (8 × 10GbE).
+const NumPorts = model.NumPorts
+
+// Option tweaks a router configuration.
+type Option func(*core.Config)
+
+// WithMode selects CPU-only or CPU+GPU operation.
+func WithMode(m Mode) Option { return func(c *core.Config) { c.Mode = m } }
+
+// WithPacketSize sets the generated packet size (64-1514 bytes).
+func WithPacketSize(bytes int) Option {
+	return func(c *core.Config) { c.PacketSize = bytes }
+}
+
+// WithOfferedGbps sets the offered load per port.
+func WithOfferedGbps(g float64) Option {
+	return func(c *core.Config) { c.OfferedGbpsPerPort = g }
+}
+
+// WithStreams enables concurrent copy and execution with n CUDA
+// streams (§5.4; the paper uses it for IPsec).
+func WithStreams(n int) Option { return func(c *core.Config) { c.Streams = n } }
+
+// WithOpportunisticOffload keeps small chunks on the CPU for low
+// latency under light load (§7).
+func WithOpportunisticOffload() Option {
+	return func(c *core.Config) { c.OpportunisticOffload = true }
+}
+
+// WithChunkCap caps the number of packets per chunk (§5.3).
+func WithChunkCap(n int) Option { return func(c *core.Config) { c.ChunkCap = n } }
+
+// WithoutPipelining disables chunk pipelining (§5.4 ablation).
+func WithoutPipelining() Option { return func(c *core.Config) { c.Pipelining = false } }
+
+// WithGatherMax bounds how many chunks one GPU launch gathers (§5.4).
+func WithGatherMax(n int) Option { return func(c *core.Config) { c.GatherMax = n } }
+
+// Instance is an assembled router plus its workload generator and
+// latency sink, ready to Run.
+type Instance struct {
+	Env    *sim.Env
+	Router *core.Router
+	Sink   *pktgen.LatencySink
+
+	started bool
+}
+
+// Report summarizes one run.
+type Report struct {
+	// DeliveredGbps is forwarded throughput in the paper's wire metric
+	// (24B Ethernet overhead included).
+	DeliveredGbps float64
+	// InputGbps is accepted input throughput (the IPsec metric, §6.2.4).
+	InputGbps float64
+	// Latency statistics in microseconds (zero if nothing completed).
+	MeanLatencyUs float64
+	P99LatencyUs  float64
+	// Stats are the framework counters.
+	Stats core.Stats
+}
+
+func build(app core.App, src interface {
+	Fill(b *packet.Buf, port, queue int, seq uint64)
+}, opts []Option) *Instance {
+	env := sim.NewEnv()
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := core.New(env, cfg, app)
+	sink := pktgen.NewLatencySink()
+	for _, p := range r.Engine.Ports {
+		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) { sink.Observe(b, at) }
+	}
+	r.SetSource(src)
+	return &Instance{Env: env, Router: r, Sink: sink}
+}
+
+// IPv4 assembles an IPv4 forwarder with a synthetic BGP table of the
+// given size (§6.2.1 uses 282,797 prefixes — route.BGPTableSize).
+func IPv4(prefixes int, seed int64, opts ...Option) (*Instance, error) {
+	entries := route.GenerateBGPTable(prefixes, 64, seed)
+	tbl, err := lookupv4.Build(entries)
+	if err != nil {
+		return nil, err
+	}
+	app := &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
+	inst := build(app, &pktgen.UDP4Source{Size: 64, Seed: uint64(seed), Table: entries}, opts)
+	syncSourceSize(inst)
+	return inst, nil
+}
+
+// IPv6 assembles an IPv6 forwarder with n random prefixes (§6.2.2 uses
+// 200,000).
+func IPv6(prefixes int, seed int64, opts ...Option) *Instance {
+	entries := route.GenerateIPv6Table(prefixes, 64, seed)
+	app := &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}
+	inst := build(app, &pktgen.UDP6Source{Size: 64, Seed: uint64(seed), Table: entries}, opts)
+	syncSourceSize(inst)
+	return inst
+}
+
+// IPsec assembles the ESP tunnel gateway (§6.2.4), one SA per port.
+func IPsec(seed int64, opts ...Option) *Instance {
+	app := apps.NewIPsecGW(model.NumPorts)
+	inst := build(app, &pktgen.UDP4Source{Size: 64, Seed: uint64(seed)}, opts)
+	syncSourceSize(inst)
+	return inst
+}
+
+// OpenFlowSwitch wraps a caller-configured switch data path (§6.2.3).
+func OpenFlowSwitch(sw *openflow.Switch, src interface {
+	Fill(b *packet.Buf, port, queue int, seq uint64)
+}, opts ...Option) *Instance {
+	app := apps.NewOFSwitch(sw, model.NumPorts)
+	return build(app, src, opts)
+}
+
+// syncSourceSize re-applies the source with the configured packet size
+// (options may have changed it after build wired the default).
+func syncSourceSize(inst *Instance) {
+	// The generator's Size field must match cfg.PacketSize; SetSource
+	// in build already used the final cfg rate, but the Fill size lives
+	// in the source. Rebind here.
+	cfg := inst.Router.Cfg
+	switch s := sourceOf(inst).(type) {
+	case *pktgen.UDP4Source:
+		s.Size = cfg.PacketSize
+	case *pktgen.UDP6Source:
+		s.Size = cfg.PacketSize
+	}
+}
+
+// sourceOf recovers the source bound to the first queue (all queues
+// share one source object).
+func sourceOf(inst *Instance) any {
+	return inst.Router.Source()
+}
+
+// Run starts the router (first call), advances virtual time by d, and
+// reports. Repeated Run calls continue the same simulation; the
+// measurement window restarts each call, so a warmup Run followed by a
+// measurement Run excludes transients.
+func (i *Instance) Run(d Duration) Report {
+	if !i.started {
+		i.Router.Start()
+		i.started = true
+	}
+	i.Router.ResetMeasurement()
+	i.Env.Run(i.Env.Now() + sim.Time(d))
+	return Report{
+		DeliveredGbps: i.Router.DeliveredGbps(),
+		InputGbps:     i.Router.InputGbps(),
+		MeanLatencyUs: i.Sink.MeanMicros(),
+		P99LatencyUs:  i.Sink.PercentileMicros(0.99),
+		Stats:         i.Router.Stats,
+	}
+}
