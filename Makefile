@@ -1,0 +1,20 @@
+# Development entry points. `make check` is the expanded tier-1
+# verification and mirrors CI (.github/workflows/ci.yml) exactly.
+
+.PHONY: check build test lint race
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+lint:
+	go vet ./...
+	go run ./cmd/pslint ./...
+
+race:
+	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio

@@ -1,0 +1,21 @@
+package load
+
+import "testing"
+
+func TestSmokeLoadAll(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root)
+	targets, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("targets: %d", len(targets))
+	for _, p := range targets {
+		if p.Info == nil || p.Types == nil {
+			t.Errorf("%s missing types", p.PkgPath)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package mapiter flags `range` over maps where the loop body is
+// order-sensitive: it schedules simulation work or emits experiment /
+// report output.
+//
+// Go randomises map iteration order per run, so a map-range that calls
+// into internal/sim (scheduling events, putting packets on queues) or
+// writes output (fmt.Fprintf, strings.Builder, Result.AddRow) makes the
+// simulation schedule or the report bytes differ between otherwise
+// identical runs. Order-insensitive map loops (counting, building
+// another map, finding a max) are deliberately not flagged, and a
+// provably-safe loop can be suppressed with
+//
+//	//pslint:ignore mapiter <reason>
+//
+// The fix is almost always to iterate a sorted key slice.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"packetshader/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range-over-map loops that schedule sim events or emit output (iteration order is random per run)",
+	Run:  run,
+}
+
+// emitFuncs are package-level fmt functions that produce output in call
+// order. Sprint* is excluded: it builds a value whose eventual use may
+// well be order-insensitive.
+var emitFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// emitMethods are method names that append to an output stream or
+// report, regardless of receiver type (io.Writer, strings.Builder,
+// bufio.Writer, experiments.Result, ...).
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "Note": true, "Print": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || pass.IsTestFile(rs.Pos()) {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if why := orderSensitive(pass, rs.Body); why != "" {
+			pass.Reportf(rs.For,
+				"range over map %s but the loop body %s; map order is random per run — iterate a sorted key slice",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)), why)
+		}
+		return true
+	})
+	return nil
+}
+
+// orderSensitive walks body (including nested function literals, which
+// inherit the iteration's visit order) and describes the first
+// order-sensitive call it finds, or returns "".
+func orderSensitive(pass *analysis.Pass, body *ast.BlockStmt) (why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return true
+		}
+		switch {
+		case analysis.IsSimFunc(fn):
+			why = "schedules simulation work (sim." + fn.Name() + ")"
+		case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && emitFuncs[fn.Name()]:
+			why = "emits output (fmt." + fn.Name() + ")"
+		case hasReceiver(fn) && emitMethods[fn.Name()]:
+			why = "emits output (" + recvString(pass, fn) + "." + fn.Name() + ")"
+		}
+		return why == ""
+	})
+	return why
+}
+
+func hasReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func recvString(pass *analysis.Pass, fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	return types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg))
+}

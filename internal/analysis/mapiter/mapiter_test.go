@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapiter.Analyzer, "mapiter")
+}

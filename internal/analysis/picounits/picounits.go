@@ -1,0 +1,103 @@
+// Package picounits flags bare numeric literals converted directly to
+// sim.Duration or sim.Time.
+//
+// The virtual clock ticks in picoseconds, three decimal orders below
+// the nanoseconds most people think in, so sim.Duration(500) reads as
+// "500ns" but means 500ps — a 1000x modelling error that no test
+// necessarily catches (the simulation still runs, just with absurd
+// hardware). Writing the unit makes the magnitude explicit:
+//
+//	sim.Duration(500)        // BAD: 500 what?
+//	500 * sim.Nanosecond     // GOOD
+//	sim.DurationFromSeconds(5e-7) // GOOD
+//
+// Zero is exempt (sim.Duration(0) has no magnitude to get wrong), as
+// are conversions of non-literal expressions, which are assumed to
+// carry already-scaled picosecond values.
+package picounits
+
+import (
+	"go/ast"
+	"go/token"
+
+	"packetshader/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "picounits",
+	Doc:  "flag bare numeric literals converted to sim.Duration/sim.Time: write N * sim.Nanosecond etc. so the magnitude is explicit",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		// A conversion is a CallExpr whose Fun denotes a type.
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		var unit string
+		switch {
+		case analysis.IsSimNamed(tv.Type, "Duration"):
+			unit = "Duration"
+		case analysis.IsSimNamed(tv.Type, "Time"):
+			unit = "Time"
+		default:
+			return true
+		}
+		lit, neg := bareLiteral(call.Args[0])
+		if lit == nil || isZero(lit) {
+			return true
+		}
+		val := lit.Value
+		if neg {
+			val = "-" + val
+		}
+		pass.Reportf(call.Pos(),
+			"bare literal sim.%s(%s): picosecond magnitude is implicit; write the unit (e.g. %s * sim.Nanosecond) or use sim.DurationFromSeconds",
+			unit, val, val)
+		return true
+	})
+	return nil
+}
+
+// bareLiteral unwraps parentheses and unary minus and returns the
+// numeric literal being converted, if any.
+func bareLiteral(e ast.Expr) (lit *ast.BasicLit, neg bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.SUB && x.Op != token.ADD {
+				return nil, false
+			}
+			if x.Op == token.SUB {
+				neg = !neg
+			}
+			e = x.X
+		case *ast.BasicLit:
+			if x.Kind == token.INT || x.Kind == token.FLOAT {
+				return x, neg
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isZero(lit *ast.BasicLit) bool {
+	for _, c := range lit.Value {
+		switch c {
+		case '0', '.', 'x', 'X', 'o', 'O', 'b', 'B', '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package picounits_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/picounits"
+)
+
+func TestPicoUnits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), picounits.Analyzer, "picounits")
+}

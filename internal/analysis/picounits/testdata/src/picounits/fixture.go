@@ -1,0 +1,23 @@
+// Fixture for the picounits analyzer: converting a bare numeric literal
+// to sim.Duration/sim.Time hides a picosecond magnitude; spell the unit.
+package picounits
+
+import "packetshader/internal/sim"
+
+func bad() sim.Duration {
+	_ = sim.Duration(500)    // want `bare literal sim\.Duration\(500\): picosecond magnitude is implicit`
+	_ = sim.Time(1000)       // want `bare literal sim\.Time\(1000\)`
+	_ = sim.Duration(-3)     // want `bare literal sim\.Duration\(-3\)`
+	_ = sim.Duration((250))  // want `bare literal sim\.Duration\(250\)`
+	return sim.Duration(1e3) // want `bare literal sim\.Duration\(1e3\)`
+}
+
+func good(x int64, f float64) {
+	_ = 500 * sim.Nanosecond // unit spelled out: ok
+	_ = sim.Duration(0)      // zero has no magnitude
+	_ = sim.Time(0)
+	_ = sim.Duration(x)                // non-literal: assumed already scaled
+	_ = sim.DurationFromSeconds(5e-7)  // explicit-unit constructor
+	_ = sim.Duration(float64(x) * 0.5) // computed expression
+	_ = sim.DurationFromSeconds(f)
+}

@@ -1,0 +1,102 @@
+// Package schedblock flags blocking simulation calls inside Env.At /
+// Env.After callbacks.
+//
+// The sim package documents that callbacks passed to Env.At and
+// Env.After "run in scheduler context and must not block"
+// (internal/sim/env.go): the scheduler is single-threaded, and a
+// callback that parks on Proc.Sleep, Queue.Get/Put, Server.Use or
+// Signal.Wait deadlocks the whole simulation (those operations yield to
+// a scheduler that is the caller itself). Nothing enforced this until
+// now. Blocking work belongs in a process: have the callback wake a
+// Proc (Signal.Fire, Queue.TryPut, Env.Go) instead.
+//
+// Function literals nested inside the callback are not walked: a
+// literal handed to Env.Go runs as its own process, where blocking is
+// the whole point.
+package schedblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"packetshader/internal/analysis"
+)
+
+// blocking maps sim method names that park the calling goroutine.
+// (Env.Run is included: re-entering the scheduler from a callback
+// panics.) Try* variants are non-blocking and legal.
+var blocking = map[string]bool{
+	"Sleep":      true, // (*Proc)
+	"SleepUntil": true, // (*Proc)
+	"Get":        true, // (*Queue[T])
+	"Put":        true, // (*Queue[T])
+	"Use":        true, // (*Server)
+	"Wait":       true, // (*Signal)
+	"Run":        true, // (*Env): re-entry panics
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "schedblock",
+	Doc:  "flag blocking sim operations (Proc.Sleep, Queue.Get/Put, Server.Use, Signal.Wait) inside Env.At/Env.After callbacks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if !analysis.IsSimFunc(obj, "At", "After") || len(call.Args) == 0 {
+			return true
+		}
+		// Env.At(t, fn) / Env.After(d, fn): the callback is the last arg.
+		lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkCallback(pass, sel.Sel.Name, lit)
+		return true
+	})
+	return nil
+}
+
+// checkCallback reports blocking sim calls made directly by the
+// callback body (nested function literals excluded — they run in some
+// other context, typically as Env.Go processes).
+func checkCallback(pass *analysis.Pass, sched string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if !analysis.IsSimFunc(obj) || !blocking[sel.Sel.Name] {
+			return true
+		}
+		if !hasRecv(pass, sel) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"sim.%s blocks, but Env.%s callbacks run in scheduler context and must not block (sim/env.go); wake a process instead (Signal.Fire, Queue.TryPut, Env.Go)",
+			sel.Sel.Name, sched)
+		return true
+	})
+}
+
+func hasRecv(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}

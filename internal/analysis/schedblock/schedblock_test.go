@@ -1,0 +1,12 @@
+package schedblock_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/schedblock"
+)
+
+func TestSchedBlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), schedblock.Analyzer, "schedblock")
+}

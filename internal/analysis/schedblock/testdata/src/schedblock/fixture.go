@@ -1,0 +1,38 @@
+// Fixture for the schedblock analyzer: Env.At/Env.After callbacks run
+// in scheduler context and must not call blocking sim operations.
+package schedblock
+
+import "packetshader/internal/sim"
+
+func bad(env *sim.Env, p *sim.Proc, q *sim.Queue[int], srv *sim.Server, sig *sim.Signal) {
+	env.At(0, func() {
+		p.Sleep(3 * sim.Nanosecond) // want `sim\.Sleep blocks, but Env\.At callbacks run in scheduler context`
+	})
+	env.After(5*sim.Microsecond, func() {
+		_ = q.Get(p)               // want `sim\.Get blocks, but Env\.After callbacks`
+		q.Put(p, 1)                // want `sim\.Put blocks, but Env\.After callbacks`
+		srv.Use(p, sim.Nanosecond) // want `sim\.Use blocks, but Env\.After callbacks`
+		sig.Wait(p)                // want `sim\.Wait blocks, but Env\.After callbacks`
+		p.SleepUntil(0)            // want `sim\.SleepUntil blocks, but Env\.After callbacks`
+	})
+	env.After(sim.Nanosecond, func() {
+		env.Run(0) // want `sim\.Run blocks, but Env\.After callbacks`
+	})
+}
+
+func good(env *sim.Env, q *sim.Queue[int], sig *sim.Signal) {
+	env.After(sim.Microsecond, func() {
+		_ = q.TryPut(7) // non-blocking variants are the sanctioned pattern
+		_, _ = q.TryGet()
+		sig.Fire()
+		env.At(env.Now(), func() {}) // rescheduling is fine
+		env.Go("worker", func(p *sim.Proc) {
+			p.Sleep(sim.Nanosecond) // a spawned process may block
+		})
+	})
+	// Blocking outside a callback is the normal process style.
+	env.Go("proc", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		q.Put(p, 2)
+	})
+}

@@ -1,0 +1,64 @@
+// Package seededrand forbids math/rand's global, process-seeded source
+// in the simulated stack.
+//
+// Workload generation (packet traces, synthetic BGP tables, Zipf flows)
+// must be reproducible run-to-run, so all randomness under internal/
+// must flow from an explicit rand.New(rand.NewSource(seed)) — the
+// pattern internal/route already follows. Top-level calls such as
+// rand.Intn or rand.Float64 draw from the shared global source, whose
+// stream depends on whatever else the process consumed and (in
+// math/rand/v2, or an unseeded v1 on modern Go) on a random per-process
+// seed.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"packetshader/internal/analysis"
+)
+
+// allowed are the constructors of explicit, seedable sources and
+// generators; everything else at package scope is the global source.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "seededrand",
+	Doc:          "forbid the global math/rand source under internal/: use rand.New(rand.NewSource(seed))",
+	InternalOnly: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // methods on *rand.Rand etc. are fine
+		}
+		if allowed[fn.Name()] || pass.IsTestFile(id.Pos()) {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"rand.%s uses the global math/rand source; use an explicit seeded generator: rand.New(rand.NewSource(seed))",
+			fn.Name())
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "seededrand")
+}

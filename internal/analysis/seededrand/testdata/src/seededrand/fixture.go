@@ -1,0 +1,21 @@
+// Fixture for the seededrand analyzer: the global math/rand source is
+// forbidden; explicit seeded generators are the sanctioned pattern.
+package seededrand
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)                      // want `rand\.Seed uses the global math/rand source`
+	_ = rand.Float64()                 // want `rand\.Float64 uses the global math/rand source`
+	_ = rand.Perm(10)                  // want `rand\.Perm uses the global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the global math/rand source`
+	return rand.Intn(10)               // want `rand\.Intn uses the global math/rand source`
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit seeded source: ok
+	_ = rng.Intn(10)
+	z := rand.NewZipf(rng, 1.2, 1, 1000) // constructor taking a *Rand: ok
+	_ = z.Uint64()
+	return rng.Float64()
+}

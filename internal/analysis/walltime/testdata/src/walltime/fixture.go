@@ -1,0 +1,29 @@
+// Fixture for the walltime analyzer: host wall-clock entry points are
+// forbidden; conversions and constants of package time are fine.
+package walltime
+
+import "time"
+
+func bad() {
+	start := time.Now()          // want `time\.Now reads the host wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host wall clock`
+	_ = time.Since(start)        // want `time\.Since reads the host wall clock`
+	_ = time.Until(start)        // want `time\.Until reads the host wall clock`
+	<-time.Tick(time.Second)     // want `time\.Tick reads the host wall clock`
+	<-time.After(time.Second)    // want `time\.After reads the host wall clock`
+	_ = time.NewTimer(1)         // want `time\.NewTimer reads the host wall clock`
+}
+
+// Referencing (not calling) a forbidden function is still a leak.
+var clock func() time.Time = time.Now // want `time\.Now reads the host wall clock`
+
+func good() {
+	_ = 5 * time.Millisecond // unit constants carry no host clock
+	d, _ := time.ParseDuration("3ms")
+	_ = time.Duration(42) * d
+	_ = time.Unix(0, 0) // pure constructor from explicit numbers
+}
+
+func suppressed() {
+	_ = time.Now() //pslint:ignore walltime boot banner only, never measured
+}

@@ -1,0 +1,59 @@
+// Package walltime forbids host wall-clock time in the simulated stack.
+//
+// Every figure the benchmark harness reproduces is measured on
+// internal/sim's virtual clock; a single time.Now or time.Sleep in a
+// model or experiment couples results to host speed and turns a
+// deterministic reproduction into machine-dependent noise. All timing
+// under internal/ must go through sim.Time / sim.Duration /
+// sim.Env.Now. The cmd/ front-ends may still report host time (the
+// analyzer is marked InternalOnly, and the pslint driver scopes it).
+package walltime
+
+import (
+	"go/ast"
+
+	"packetshader/internal/analysis"
+)
+
+// forbidden are the package-level wall-clock entry points of package
+// time. Pure conversions and constants (time.Duration, time.Millisecond,
+// time.ParseDuration, ...) stay legal: they carry no host clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "walltime",
+	Doc:          "forbid time.Now/Sleep/Since/... under internal/: all timing must use sim virtual time",
+	InternalOnly: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		if !forbidden[obj.Name()] || pass.IsTestFile(id.Pos()) {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"time.%s reads the host wall clock; simulated code must use sim virtual time (sim.Env.Now, Proc.Sleep)",
+			obj.Name())
+		return true
+	})
+	return nil
+}

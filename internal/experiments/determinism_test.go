@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// render prints a result to a buffer, exactly as `pshader experiments`
+// would emit it.
+func render(r *Result) string {
+	var b bytes.Buffer
+	r.Print(&b)
+	return b.String()
+}
+
+// TestExperimentsDeterministicAcrossRuns is the end-to-end counterpart
+// of the pslint determinism linters (cmd/pslint): the static analyzers
+// forbid wall-clock time, unseeded randomness and order-sensitive map
+// iteration, and this test checks the invariant they guard — running
+// the same experiment twice in one process yields byte-identical
+// output. It covers the §2 microbenchmarks including the Fig 2
+// latency-hiding sweep, which exercises the full sim stack (virtual
+// clock, GPU model, PCIe IOH, batched IPv6 lookups).
+func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() *Result
+	}{
+		{"table1", Table1},
+		{"launch", LaunchLatency},
+		{"fig2", Fig2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			first := render(c.run())
+			second := render(c.run())
+			if first == second {
+				return
+			}
+			// Pinpoint the first differing line for a usable failure.
+			fl, sl := bytes.Split([]byte(first), []byte("\n")), bytes.Split([]byte(second), []byte("\n"))
+			for i := 0; i < len(fl) && i < len(sl); i++ {
+				if !bytes.Equal(fl[i], sl[i]) {
+					t.Fatalf("run-to-run output diverged at line %d:\n  first:  %s\n  second: %s",
+						i+1, fl[i], sl[i])
+				}
+			}
+			t.Fatalf("run-to-run output diverged in length: %d vs %d bytes", len(first), len(second))
+		})
+	}
+}

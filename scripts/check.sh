@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh mirrors .github/workflows/ci.yml locally: build, vet, the
+# pslint determinism linters, the full test suite, and race tests on the
+# concurrency-bearing packages. This is the repository's expanded tier-1
+# verification (see ROADMAP.md); `make check` runs it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== pslint (determinism contract)"
+go run ./cmd/pslint ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (sim, core, cluster, pktio)"
+go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio
+
+echo "== all checks passed"
