@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the expanded tier-1
 # verification and mirrors CI (.github/workflows/ci.yml) exactly.
 
-.PHONY: check build test lint race
+.PHONY: check build test lint race trace-demo
 
 check:
 	./scripts/check.sh
@@ -17,4 +17,12 @@ lint:
 	go run ./cmd/pslint ./...
 
 race:
-	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio
+	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs
+
+# trace-demo produces a sample Perfetto trace plus a metrics dump from
+# the Figure 11a operating point (IPv4 CPU+GPU, 64B packets, full BGP
+# table at 10 Gbps/port). Open trace-demo.json at https://ui.perfetto.dev.
+trace-demo:
+	go run ./cmd/pshader -app ipv4 -mode gpu -size 64 -offered 10 \
+		-duration 5ms -warmup 5ms -prefixes 282797 \
+		-trace trace-demo.json -metrics

@@ -22,7 +22,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
+	metrics := flag.Bool("metrics", false, "dump per-run metrics (counters, latency histograms, occupancy)")
 	flag.Parse()
+	if *metrics {
+		experiments.SetMetricsWriter(os.Stdout)
+	}
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Println(e.ID)

@@ -8,6 +8,7 @@
 //	pshader -app ipsec -mode cpu -size 1514 -offered 5
 //	pshader -app openflow -flows 32768 -wildcards 32
 //	pshader -app ipv6 -mode gpu -opportunistic -offered 1
+//	pshader -app ipv4 -mode gpu -trace trace.json -metrics
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"packetshader/internal/apps"
 	"packetshader/internal/core"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/openflow"
 	"packetshader/internal/packet"
 	"packetshader/internal/pcap"
@@ -46,6 +48,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		pcapOut  = flag.String("pcap", "", "capture transmitted packets to this pcap file")
 		pcapN    = flag.Uint64("pcap-limit", 1000, "max packets to capture")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metrics  = flag.Bool("metrics", false, "dump counters, latency histograms, and resource occupancy")
 	)
 	flag.Parse()
 
@@ -106,6 +110,24 @@ func main() {
 	}
 
 	router := core.New(env, cfg, app)
+	var (
+		tracer  *obs.Tracer
+		sampler *obs.ServerSampler
+		reg     *obs.Registry
+	)
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if tracer != nil || reg != nil {
+		// The sampler turns every sim.Server reservation (PCIe engines,
+		// GPU copy/exec, NIC serializers) into occupancy spans/totals.
+		sampler = obs.NewServerSampler(tracer)
+		env.SetHooks(sampler)
+		router.EnableObs(tracer, reg)
+	}
 	sink := pktgen.NewLatencySink()
 	var tap *pcap.Tap
 	if *pcapOut != "" {
@@ -157,6 +179,35 @@ func main() {
 		fmt.Printf("  pcap            %d packets -> %s\n", tap.W.Packets, *pcapOut)
 		if tap.Err != nil {
 			fmt.Fprintf(os.Stderr, "pcap error: %v\n", tap.Err)
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace           %d events -> %s (open at https://ui.perfetto.dev)\n",
+			tracer.Events(), *traceOut)
+	}
+	if reg != nil {
+		router.ObserveStats()
+		fmt.Printf("metrics:\n")
+		if err := reg.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sampler.WriteReport(os.Stdout, env.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -44,7 +44,8 @@ type Chunk struct {
 	OutBytes    int
 	StreamBytes int
 
-	enqueued sim.Time
+	enqueued  sim.Time // when the chunk entered the master input queue
+	fetchedAt sim.Time // when the chunk was assembled from the RX rings
 }
 
 // PreResult is what an application's pre-shading step reports.
@@ -148,6 +149,7 @@ type Router struct {
 	workers []*worker
 	masters []*master
 	Stats   Stats
+	obs     *routerObs
 
 	start sim.Time
 	// measurement baselines (set by ResetMeasurement to exclude warmup
@@ -196,6 +198,7 @@ func New(env *sim.Env, cfg Config, app App) *Router {
 		}
 	}
 	r.bindQueues(workersPerNode)
+	r.obs = newRouterObs(len(r.workers), cfg.IO.Nodes)
 	return r
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"packetshader/internal/hw/gpu"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/sim"
 )
 
@@ -20,6 +21,8 @@ type master struct {
 
 func (m *master) run(p *sim.Proc) {
 	r := m.router
+	o := r.obs
+	track := o.masterTracks[m.node]
 	for {
 		first := m.inQ.Get(p)
 		chunks := []*Chunk{first}
@@ -27,13 +30,16 @@ func (m *master) run(p *sim.Proc) {
 			// Gather (§5.4): take whatever else is already queued.
 			chunks = append(chunks, m.inQ.DrainUpTo(r.Cfg.GatherMax-1)...)
 		}
+		gathered := p.Now()
 		var threads, inB, outB, strB int
 		for _, c := range chunks {
+			o.gpuWait.ObserveDuration(sim.Duration(gathered - c.enqueued))
 			threads += c.Threads
 			inB += c.InBytes
 			outB += c.OutBytes
 			strB += c.StreamBytes
 		}
+		o.launchThreads.Observe(int64(threads))
 		fn := func() {
 			for _, c := range chunks {
 				r.App.RunKernel(c)
@@ -45,6 +51,9 @@ func (m *master) run(p *sim.Proc) {
 		} else {
 			m.dev.Launch(p, spec, threads, inB, outB, strB, fn)
 		}
+		o.tr.SpanUntil(track, "gpu-launch", gathered, p.Now(),
+			obs.Arg{Key: "threads", Val: int64(threads)},
+			obs.Arg{Key: "chunks", Val: int64(len(chunks))})
 		r.Stats.GPULaunches++
 		r.Stats.ChunksGPU += uint64(len(chunks))
 		// Scatter (§5.4): results go to each chunk's own worker output

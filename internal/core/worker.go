@@ -1,6 +1,7 @@
 package core
 
 import (
+	"packetshader/internal/obs"
 	"packetshader/internal/packet"
 	"packetshader/internal/pktio"
 	"packetshader/internal/sim"
@@ -46,13 +47,20 @@ func (w *worker) run(p *sim.Proc) {
 		}
 		// 2. Fetch and process a new chunk if the pipeline has room.
 		if !gpuMode || w.inflight < w.maxInflight() {
+			fetchStart := p.Now()
 			if c := w.fetchChunk(p); c != nil {
+				o := w.router.obs
+				track := o.workerTracks[w.id]
+				o.tr.SpanUntil(track, "rx-fetch", fetchStart, c.fetchedAt,
+					obs.Arg{Key: "packets", Val: int64(len(c.Bufs))})
+				o.chunkSize.Observe(int64(len(c.Bufs)))
 				pre := w.router.App.PreShade(c)
 				c.Threads = pre.Threads
 				c.InBytes = pre.InBytes
 				c.OutBytes = pre.OutBytes
 				c.StreamBytes = pre.StreamBytes
 				p.Sleep(cycles(pre.CPUCycles))
+				o.tr.SpanUntil(track, "pre-shade", c.fetchedAt, p.Now())
 				offload := gpuMode && pre.Threads > 0
 				if offload && w.router.Cfg.OpportunisticOffload &&
 					len(c.Bufs) <= w.router.Cfg.OppThreshold {
@@ -65,7 +73,9 @@ func (w *worker) run(p *sim.Proc) {
 					w.inflight++
 					w.master.inQ.Put(p, c) // blocks when full: backpressure
 				} else {
+					cpuStart := p.Now()
 					p.Sleep(cycles(w.router.App.CPUWork(c)))
+					o.tr.SpanUntil(track, "cpu-work", cpuStart, p.Now())
 					w.router.Stats.ChunksCPU++
 					w.finish(p, c)
 				}
@@ -99,9 +109,10 @@ func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
 			continue
 		}
 		c := &Chunk{
-			Bufs:     bufs,
-			OutPorts: make([]int, len(bufs)),
-			Worker:   w.id,
+			Bufs:      bufs,
+			OutPorts:  make([]int, len(bufs)),
+			Worker:    w.id,
+			fetchedAt: p.Now(),
 		}
 		w.router.Stats.Packets += uint64(len(bufs))
 		return c
@@ -112,7 +123,12 @@ func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
 // finish runs post-shading and transmits the chunk, splitting packets
 // by destination port (§5.3).
 func (w *worker) finish(p *sim.Proc, c *Chunk) {
+	o := w.router.obs
+	track := o.workerTracks[w.id]
+	postStart := p.Now()
 	p.Sleep(cycles(w.router.App.PostShade(c)))
+	o.tr.SpanUntil(track, "post-shade", postStart, p.Now(),
+		obs.Arg{Key: "packets", Val: int64(len(c.Bufs))})
 	// Group by output port, preserving FIFO order within the chunk.
 	byPort := map[int][]*packet.Buf{}
 	var order []int
@@ -128,9 +144,14 @@ func (w *worker) finish(p *sim.Proc, c *Chunk) {
 		}
 		byPort[port] = append(byPort[port], b)
 	}
+	txStart := p.Now()
 	for _, port := range order {
 		w.router.Engine.Send(p, w.node, port, byPort[port])
 	}
+	if len(order) > 0 {
+		o.tr.SpanUntil(track, "tx", txStart, p.Now())
+	}
+	o.chunkLatency.ObserveDuration(sim.Duration(p.Now() - c.fetchedAt))
 }
 
 // waitAny blocks until any of the worker's queues can produce a packet,

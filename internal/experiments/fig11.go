@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"packetshader/internal/apps"
 	"packetshader/internal/core"
 	"packetshader/internal/hw/nic"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/openflow"
 	"packetshader/internal/packet"
 	"packetshader/internal/pktgen"
@@ -39,12 +41,41 @@ func runAppW(mode core.Mode, pktSize int, offeredPerPort float64,
 		tweak(&cfg)
 	}
 	r := core.New(env, cfg, app)
+	var reg *obs.Registry
+	var sampler *obs.ServerSampler
+	if metricsW != nil {
+		reg = obs.NewRegistry()
+		sampler = obs.NewServerSampler(nil)
+		env.SetHooks(sampler)
+		r.EnableObs(nil, reg)
+	}
 	r.SetSource(src)
 	r.Start()
 	env.After(warmup, r.ResetMeasurement)
 	env.Run(sim.Time(warmup + window))
+	if metricsW != nil {
+		r.ObserveStats()
+		mode := "cpu"
+		if cfg.Mode == core.ModeGPU {
+			mode = "gpu"
+		}
+		fmt.Fprintf(metricsW, "--- metrics %s mode=%s size=%d offered=%g ---\n",
+			app.Name(), mode, pktSize, offeredPerPort)
+		if err := reg.Dump(metricsW); err == nil {
+			err = sampler.WriteReport(metricsW, env.Now())
+		}
+	}
 	return r
 }
+
+// metricsW, when set via SetMetricsWriter, receives a per-run metrics
+// dump (registry + resource occupancy) from every application
+// experiment driven through runAppW.
+var metricsW io.Writer
+
+// SetMetricsWriter enables per-experiment metrics dumps to w (nil
+// disables them, the default).
+func SetMetricsWriter(w io.Writer) { metricsW = w }
 
 var fig11Sizes = []int{64, 128, 256, 512, 1024, 1514}
 

@@ -13,8 +13,11 @@
 package gpu
 
 import (
+	"strconv"
+
 	"packetshader/internal/hw/pcie"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/sim"
 )
 
@@ -91,15 +94,35 @@ type Device struct {
 	// Launches and ThreadsRun accumulate usage statistics.
 	Launches   uint64
 	ThreadsRun uint64
+
+	// trace, when enabled via EnableTrace, receives per-launch stage
+	// spans (h2d / kernel / d2h / sync) on the device's track. The
+	// copy/exec engine occupancy itself is traced at the sim.Server
+	// level via Env hooks; these spans add the launch-lifecycle view.
+	trace *obs.Tracer
+	track obs.TrackID
 }
 
-// New creates a device on the given NUMA node.
+// New creates a device on the given NUMA node. Its PCIe link and exec
+// engine carry the node number in their names ("gpu0-up", "gpu0-exec")
+// for per-resource occupancy traces.
 func New(env *sim.Env, ioh *pcie.IOH, node int) *Device {
+	n := strconv.Itoa(node)
 	return &Device{
 		Node: node,
-		Link: pcie.NewLink(env, ioh, "gpu"),
-		exec: sim.NewServer(env, "gpu-exec"),
+		Link: pcie.NewLink(env, ioh, "gpu"+n),
+		exec: sim.NewServer(env, "gpu"+n+"-exec"),
 	}
+}
+
+// ExecBusy exposes cumulative execution-engine work.
+func (d *Device) ExecBusy() sim.Duration { return d.exec.BusyTime() }
+
+// EnableTrace attaches tr to the device, recording launch stage spans
+// on a per-device track. A nil tr disables tracing.
+func (d *Device) EnableTrace(tr *obs.Tracer) {
+	d.trace = tr
+	d.track = tr.Track("devices", "gpu"+strconv.Itoa(d.Node))
 }
 
 // Launch runs one synchronous GPU round trip from the calling (master)
@@ -119,17 +142,30 @@ func (d *Device) Launch(p *sim.Proc, spec *KernelSpec, threads, inBytes, outByte
 	if inBytes > 0 {
 		d.Link.CopyH2D(p, inBytes)
 	}
+	h2dDone := p.Now()
+	d.trace.SpanUntil(d.track, "h2d", start, h2dDone,
+		obs.Arg{Key: "bytes", Val: int64(inBytes)})
 	p.Sleep(model.GPULaunchTime(threads))
 	d.exec.Use(p, spec.ExecTime(threads, streamBytes))
+	// The kernel span includes launch latency and exec-engine queueing:
+	// it is the launch's wall view, while the exec server's own busy
+	// span (via sim hooks) isolates pure execution.
+	d.trace.SpanUntil(d.track, "kernel:"+spec.Name, h2dDone, p.Now(),
+		obs.Arg{Key: "threads", Val: int64(threads)})
 	if fn != nil {
 		fn()
 	}
+	d2hStart := p.Now()
 	if outBytes > 0 {
 		d.Link.CopyD2H(p, outBytes)
+		d.trace.SpanUntil(d.track, "d2h", d2hStart, p.Now(),
+			obs.Arg{Key: "bytes", Val: int64(outBytes)})
 	}
+	syncStart := p.Now()
 	// Host-side driver round-trip overhead (synchronization, completion
 	// notification) — the dominant fixed cost for small batches.
 	p.Sleep(sim.Duration(model.GPUSyncOverheadNs * float64(sim.Nanosecond)))
+	d.trace.SpanUntil(d.track, "sync", syncStart, p.Now())
 	return sim.Duration(p.Now() - start)
 }
 
@@ -163,6 +199,11 @@ func (d *Device) LaunchStreams(p *sim.Proc, spec *KernelSpec, nStreams, threads,
 	}
 	p.SleepUntil(lastD2H)
 	p.Sleep(sim.Duration(model.GPUSyncOverheadNs * float64(sim.Nanosecond)))
+	// Streamed copies/kernels are interleaved; the per-engine busy spans
+	// (sim hooks) carry the detail, so the launch view is one span.
+	d.trace.SpanUntil(d.track, "launch-streams:"+spec.Name, start, p.Now(),
+		obs.Arg{Key: "threads", Val: int64(threads)},
+		obs.Arg{Key: "streams", Val: int64(nStreams)})
 	return sim.Duration(p.Now() - start)
 }
 

@@ -308,3 +308,64 @@ func TestFluidConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRxQueueFractionalDropAccounting is the regression test for the
+// drop-accounting bug: when update() runs so often that each step
+// overflows the ring by less than one packet, truncating the overflow
+// undercounts drops (to zero, in the limit). The fractional remainder
+// must accumulate so that a long overloaded run matches the closed-form
+// expectation drops = offered - capacity.
+func TestRxQueueFractionalDropAccounting(t *testing.T) {
+	env := sim.NewEnv()
+	q, _ := newQueue(env)
+	const rate = 1.5e6 // 1.5 Mpps into a full ring
+	q.SetOffered(rate, 64, nil)
+	const step = 100 * sim.Nanosecond // 0.00015 packets per step
+	const window = 20 * sim.Millisecond
+	env.Go("poller", func(p *sim.Proc) {
+		for p.Now() < sim.Time(window) {
+			q.Available() // forces update() at every step
+			p.Sleep(step)
+		}
+	})
+	env.Run(0)
+	offered := rate * sim.Duration(window).Seconds() // 30000 packets
+	want := uint64(offered) - uint64(model.RxRingSize)
+	// Allow one packet of slop for the fractional in-ring remainder.
+	if q.Stats.Dropped < want-1 || q.Stats.Dropped > want+1 {
+		t.Errorf("dropped = %d, want %d (offered %0.f - ring %d)",
+			q.Stats.Dropped, want, offered, model.RxRingSize)
+	}
+}
+
+// TestRxQueueDropConservationUnderFetch drives an overloaded queue with
+// a consumer that fetches less than the offered rate and checks exact
+// conservation: offered = fetched + dropped + waiting (±1 fractional).
+func TestRxQueueDropConservationUnderFetch(t *testing.T) {
+	env := sim.NewEnv()
+	q, _ := newQueue(env)
+	const rate = 3.7e6
+	q.SetOffered(rate, 64, nil)
+	var fetched uint64
+	env.Go("reader", func(p *sim.Proc) {
+		for p.Now() < sim.Time(10*sim.Millisecond) {
+			got := q.Fetch(p, 37, nil) // ~2.3 Mpps consumed: overload
+			fetched += uint64(len(got))
+			for _, b := range got {
+				b.Release()
+			}
+			p.Sleep(16 * sim.Microsecond)
+		}
+	})
+	end := env.Run(0)
+	q.Available() // final update at the end of the run
+	offered := rate * sim.Duration(end).Seconds()
+	got := float64(fetched + q.Stats.Dropped + uint64(q.Available()))
+	if diff := offered - got; diff < 0 || diff > 2 {
+		t.Errorf("conservation violated: offered %.2f, accounted %.0f (fetched %d dropped %d waiting %d)",
+			offered, got, fetched, q.Stats.Dropped, q.Available())
+	}
+	if q.Stats.Dropped == 0 {
+		t.Error("overloaded queue recorded no drops")
+	}
+}

@@ -1,6 +1,9 @@
 package nic
 
 import (
+	"math"
+	"strconv"
+
 	"packetshader/internal/hw/pcie"
 	"packetshader/internal/model"
 	"packetshader/internal/packet"
@@ -32,7 +35,12 @@ type RxQueue struct {
 
 	lastUpd sim.Time
 	occ     float64 // packets waiting (fractional accumulation)
-	fetched uint64  // sequence number of next packet to materialize
+	// dropAcc carries the fractional part of overflowed packets between
+	// updates so Stats.Dropped counts whole packets exactly: truncating
+	// each sub-packet overflow would lose it forever under fine-grained
+	// update steps.
+	dropAcc float64
+	fetched uint64 // sequence number of next packet to materialize
 
 	// dmaPath lists the IOHs the RX DMA crosses (one for local
 	// placement; both when NUMA-blind placement crosses nodes, §4.5).
@@ -97,8 +105,12 @@ func (q *RxQueue) update() {
 	arrived := q.rate * dt
 	q.occ += arrived
 	if q.occ > float64(q.cap) {
-		q.Stats.Dropped += uint64(q.occ - float64(q.cap))
+		q.dropAcc += q.occ - float64(q.cap)
 		q.occ = float64(q.cap)
+		if whole := math.Floor(q.dropAcc); whole > 0 {
+			q.Stats.Dropped += uint64(whole)
+			q.dropAcc -= whole
+		}
 	}
 }
 
@@ -258,7 +270,7 @@ type TxPort struct {
 func NewTxPort(env *sim.Env, id, ringCap int, dmaPath []*pcie.IOH) *TxPort {
 	return &TxPort{
 		ID: id, env: env,
-		wire:    sim.NewServer(env, "tx-wire"),
+		wire:    sim.NewServer(env, "tx"+strconv.Itoa(id)+"-wire"),
 		dmaPath: dmaPath,
 		ringCap: ringCap,
 	}

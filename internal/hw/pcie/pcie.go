@@ -17,6 +17,8 @@
 package pcie
 
 import (
+	"strconv"
+
 	"packetshader/internal/model"
 	"packetshader/internal/sim"
 )
@@ -28,12 +30,15 @@ type IOH struct {
 	down *sim.Server
 }
 
-// NewIOH creates the hub for a NUMA node.
+// NewIOH creates the hub for a NUMA node. The engines carry the node
+// number in their names so per-resource occupancy traces distinguish
+// the hubs.
 func NewIOH(env *sim.Env, node int) *IOH {
+	n := strconv.Itoa(node)
 	return &IOH{
 		Node: node,
-		up:   sim.NewServer(env, "ioh-up"),
-		down: sim.NewServer(env, "ioh-down"),
+		up:   sim.NewServer(env, "ioh"+n+"-up"),
+		down: sim.NewServer(env, "ioh"+n+"-down"),
 	}
 }
 
@@ -124,6 +129,12 @@ func (l *Link) ScheduleH2D(size int) sim.Time {
 func (l *Link) ScheduleD2H(size int) sim.Time {
 	return maxTime(l.up.Schedule(model.D2HTime(size)), l.ioh.ExpressUp(size))
 }
+
+// UpBusy exposes cumulative device→host link work.
+func (l *Link) UpBusy() sim.Duration { return l.up.BusyTime() }
+
+// DownBusy exposes cumulative host→device link work.
+func (l *Link) DownBusy() sim.Duration { return l.down.BusyTime() }
 
 // ScheduleD2HAt reserves a device→host transfer that may not start
 // before notBefore (pipelined copy-out after a kernel completes).

@@ -11,10 +11,13 @@
 package pktio
 
 import (
+	"strconv"
+
 	"packetshader/internal/hw/nic"
 	"packetshader/internal/hw/pcie"
 	"packetshader/internal/mem"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/packet"
 	"packetshader/internal/sim"
 )
@@ -268,6 +271,41 @@ func (e *Engine) Send(p *sim.Proc, workerNode, port int, bufs []*packet.Buf) {
 
 // RxBreakdown returns the accumulated Table 3 accounting.
 func (e *Engine) RxBreakdown() Breakdown { return e.breakdown }
+
+// ObserveStats snapshots the engine's per-queue counters into reg
+// (aggregate and per-port), the same on-demand aggregation style as
+// AggregateStats. Ports iterate in slice order, so counter creation
+// order — and therefore the metrics dump — is deterministic.
+func (e *Engine) ObserveStats(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var rx, rxBytes, rxDropped, tx, txBytes, txDropped uint64
+	for _, p := range e.Ports {
+		var prx, prxd uint64
+		for _, q := range p.Rx {
+			prx += q.Stats.Packets
+			rxBytes += q.Stats.Bytes
+			prxd += q.Stats.Dropped
+		}
+		rx += prx
+		rxDropped += prxd
+		tx += p.Tx.Stats.Packets
+		txBytes += p.Tx.Stats.Bytes
+		txDropped += p.Tx.Stats.Dropped
+		id := strconv.Itoa(p.ID)
+		reg.Counter("pktio.port" + id + ".rx_packets").Set(prx)
+		reg.Counter("pktio.port" + id + ".rx_dropped").Set(prxd)
+		reg.Counter("pktio.port" + id + ".tx_packets").Set(p.Tx.Stats.Packets)
+		reg.Counter("pktio.port" + id + ".tx_dropped").Set(p.Tx.Stats.Dropped)
+	}
+	reg.Counter("pktio.rx_packets").Set(rx)
+	reg.Counter("pktio.rx_bytes").Set(rxBytes)
+	reg.Counter("pktio.rx_dropped").Set(rxDropped)
+	reg.Counter("pktio.tx_packets").Set(tx)
+	reg.Counter("pktio.tx_bytes").Set(txBytes)
+	reg.Counter("pktio.tx_dropped").Set(txDropped)
+}
 
 // AggregateStats sums per-queue counters on demand, the way the §4.4
 // design computes per-NIC statistics only when ifconfig asks.

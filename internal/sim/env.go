@@ -12,6 +12,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is an absolute point on the virtual clock, in picoseconds. The
@@ -39,9 +40,11 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
 
 // DurationFromSeconds converts seconds to a Duration, rounding to the
-// nearest picosecond.
+// nearest picosecond with ties away from zero. (A naive `+0.5` then
+// truncate rounds negative inputs toward +inf: -1.5ps would become
+// -1ps instead of -2ps, and -0.7ps would become 0.)
 func DurationFromSeconds(s float64) Duration {
-	return Duration(s*float64(Second) + 0.5)
+	return Duration(math.Round(s * float64(Second)))
 }
 
 func (t Time) String() string {
@@ -70,6 +73,18 @@ func (h eventHeap) peek() event        { return h[0] }
 func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
+// Hooks receives simulation-level trace callbacks. Implementations must
+// not block or schedule events: hooks run synchronously inside resource
+// operations, possibly in scheduler context, and exist purely to record.
+// internal/obs provides the standard implementation.
+type Hooks interface {
+	// ServerBusy reports one reservation occupying server s over the
+	// half-open virtual-time interval [start, end). FIFO servers never
+	// idle mid-queue, so these intervals tile the server's busy time
+	// exactly: their total duration equals Server.BusyTime.
+	ServerBusy(s *Server, start, end Time)
+}
+
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; create one with NewEnv.
 type Env struct {
@@ -79,6 +94,9 @@ type Env struct {
 	yieldCh chan struct{} // a running proc signals here when it blocks or ends
 	nProcs  int           // live (started, unfinished) processes
 	running bool
+
+	hooks     Hooks
+	serverSeq int // server IDs in creation order (deterministic)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -88,6 +106,11 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// SetHooks installs h as the environment's trace hooks (nil disables
+// them). When no hooks are installed the per-reservation cost is a
+// single nil check.
+func (e *Env) SetHooks(h Hooks) { e.hooks = h }
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // fn runs in scheduler context and must not block; to perform blocking

@@ -8,6 +8,7 @@ package sim
 type Server struct {
 	env  *Env
 	name string
+	id   int // creation order within the env, for stable identity
 	// freeAt is the virtual time at which the server finishes its
 	// currently queued work.
 	freeAt Time
@@ -17,7 +18,35 @@ type Server struct {
 
 // NewServer creates a named FIFO server.
 func NewServer(env *Env, name string) *Server {
-	return &Server{env: env, name: name}
+	env.serverSeq++
+	return &Server{env: env, name: name, id: env.serverSeq}
+}
+
+// Name returns the name given at creation.
+func (s *Server) Name() string { return s.name }
+
+// ID returns the server's creation-order identity within its Env,
+// starting at 1. Names may repeat (two IOHs both have an "up" engine);
+// IDs never do.
+func (s *Server) ID() int { return s.id }
+
+// reserve extends the server's queue by d starting no earlier than
+// notBefore, updates busy accounting, notifies the env hooks, and
+// returns the completion time.
+func (s *Server) reserve(notBefore Time, d Duration) Time {
+	if s.freeAt < s.env.now {
+		s.freeAt = s.env.now
+	}
+	if s.freeAt < notBefore {
+		s.freeAt = notBefore
+	}
+	start := s.freeAt
+	s.freeAt += Time(d)
+	s.busy += d
+	if s.env.hooks != nil && d > 0 {
+		s.env.hooks.ServerBusy(s, start, s.freeAt)
+	}
+	return s.freeAt
 }
 
 // Use blocks p until the server has completed all earlier requests and
@@ -25,12 +54,7 @@ func NewServer(env *Env, name string) *Server {
 // (queueing + service).
 func (s *Server) Use(p *Proc, d Duration) Duration {
 	start := s.env.now
-	if s.freeAt < start {
-		s.freeAt = start
-	}
-	s.freeAt += Time(d)
-	s.busy += d
-	p.SleepUntil(s.freeAt)
+	p.SleepUntil(s.reserve(start, d))
 	return Duration(s.env.now - start)
 }
 
@@ -38,13 +62,7 @@ func (s *Server) Use(p *Proc, d Duration) Duration {
 // completion time. Useful for fire-and-forget DMA where the initiator
 // does not wait (e.g. NIC TX descriptors).
 func (s *Server) Schedule(d Duration) Time {
-	now := s.env.now
-	if s.freeAt < now {
-		s.freeAt = now
-	}
-	s.freeAt += Time(d)
-	s.busy += d
-	return s.freeAt
+	return s.reserve(s.env.now, d)
 }
 
 // Now returns the server's environment time (convenience for callers
@@ -55,16 +73,7 @@ func (s *Server) Now() Time { return s.env.now }
 // notBefore (used to express pipeline dependencies: "this copy starts
 // only after that kernel finishes"). Returns the completion time.
 func (s *Server) ScheduleAt(notBefore Time, d Duration) Time {
-	now := s.env.now
-	if s.freeAt < now {
-		s.freeAt = now
-	}
-	if s.freeAt < notBefore {
-		s.freeAt = notBefore
-	}
-	s.freeAt += Time(d)
-	s.busy += d
-	return s.freeAt
+	return s.reserve(notBefore, d)
 }
 
 // Backlog returns how far in the future the server's queue currently

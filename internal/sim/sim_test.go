@@ -600,3 +600,105 @@ func TestMultiplePuttersWakeInFIFOOrder(t *testing.T) {
 		t.Fatalf("only %d putters completed", len(order))
 	}
 }
+
+func TestDurationFromSecondsRounding(t *testing.T) {
+	ps := func(n float64) float64 { return n * 1e-12 }
+	cases := []struct {
+		s    float64
+		want Duration
+	}{
+		// Round-to-nearest on both signs.
+		{ps(1.4), 1}, {ps(1.6), 2},
+		{ps(-1.4), -1}, {ps(-1.6), -2},
+		// Ties round away from zero (the old +0.5 truncation gave
+		// -1.5ps -> -1ps and -0.7ps -> 0).
+		{ps(1.5), 2}, {ps(-1.5), -2},
+		{ps(0.7), 1}, {ps(-0.7), -1},
+		{ps(0.4), 0}, {ps(-0.4), 0},
+		// Symmetry at larger magnitudes.
+		{1.5, 1500 * Millisecond}, {-1.5, -1500 * Millisecond},
+		{-1.0, -Second},
+	}
+	for _, c := range cases {
+		if got := DurationFromSeconds(c.s); got != c.want {
+			t.Errorf("DurationFromSeconds(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+	// Negation symmetry property: f(-s) == -f(s).
+	for _, s := range []float64{ps(0.1), ps(1.5), ps(2.5), 1e-9, 3.25e-6, 1.75} {
+		if DurationFromSeconds(-s) != -DurationFromSeconds(s) {
+			t.Errorf("rounding not symmetric at %v: %d vs %d",
+				s, DurationFromSeconds(-s), DurationFromSeconds(s))
+		}
+	}
+}
+
+// recordingHooks collects ServerBusy callbacks for inspection.
+type recordingHooks struct {
+	spans []struct {
+		id         int
+		start, end Time
+	}
+}
+
+func (h *recordingHooks) ServerBusy(s *Server, start, end Time) {
+	h.spans = append(h.spans, struct {
+		id         int
+		start, end Time
+	}{s.ID(), start, end})
+}
+
+func TestServerBusyHooksTileBusyTime(t *testing.T) {
+	env := NewEnv()
+	h := &recordingHooks{}
+	env.SetHooks(h)
+	srv := NewServer(env, "link")
+	if srv.ID() != 1 || srv.Name() != "link" {
+		t.Errorf("identity = %d/%q, want 1/link", srv.ID(), srv.Name())
+	}
+	env.Go("a", func(p *Proc) {
+		srv.Use(p, 10*Microsecond)
+		p.Sleep(5 * Microsecond)
+		srv.Schedule(3 * Microsecond)
+		srv.ScheduleAt(Time(100*Microsecond), 2*Microsecond)
+		srv.Schedule(0) // zero reservations emit no span
+	})
+	env.Run(0)
+	if len(h.spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(h.spans))
+	}
+	var total Duration
+	for i, sp := range h.spans {
+		if sp.end <= sp.start {
+			t.Errorf("span %d empty: [%v,%v)", i, sp.start, sp.end)
+		}
+		total += Duration(sp.end - sp.start)
+	}
+	if total != srv.BusyTime() {
+		t.Errorf("span total %v != busy time %v", total, srv.BusyTime())
+	}
+	// Spans of one FIFO server never overlap.
+	for i := 1; i < len(h.spans); i++ {
+		if h.spans[i].start < h.spans[i-1].end {
+			t.Errorf("spans overlap: %v then %v", h.spans[i-1], h.spans[i])
+		}
+	}
+	// The ScheduleAt gap (idle until 100us) must not be inside any span.
+	if h.spans[2].start != Time(100*Microsecond) {
+		t.Errorf("deferred span starts at %v, want 100us", h.spans[2].start)
+	}
+}
+
+func TestServerIDsUniquePerEnv(t *testing.T) {
+	env := NewEnv()
+	a := NewServer(env, "x")
+	b := NewServer(env, "x")
+	if a.ID() == b.ID() {
+		t.Errorf("duplicate server IDs: %d", a.ID())
+	}
+	env2 := NewEnv()
+	c := NewServer(env2, "y")
+	if c.ID() != 1 {
+		t.Errorf("fresh env first server ID = %d, want 1", c.ID())
+	}
+}

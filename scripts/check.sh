@@ -16,10 +16,16 @@ go vet ./...
 echo "== pslint (determinism contract)"
 go run ./cmd/pslint ./...
 
+echo "== pslint (observability layer)"
+go run ./cmd/pslint ./internal/obs
+
 echo "== go test ./..."
 go test ./...
 
+echo "== trace/metrics determinism (byte-identical across runs)"
+go test -count=1 -run 'TestObsOutputByteIdenticalAcrossRuns|TestObsSpansCoverGPUAndPCIeBusyTime' ./internal/experiments
+
 echo "== go test -race (sim, core, cluster, pktio)"
-go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio
+go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs
 
 echo "== all checks passed"
