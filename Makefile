@@ -17,7 +17,7 @@ lint:
 	go run ./cmd/pslint ./...
 
 race:
-	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs
+	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
 
 # trace-demo produces a sample Perfetto trace plus a metrics dump from
 # the Figure 11a operating point (IPv4 CPU+GPU, 64B packets, full BGP

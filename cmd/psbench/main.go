@@ -8,7 +8,7 @@
 //	psbench -list
 //
 // Experiments: table1, launch, fig2, table3, fig5, fig6, numa,
-// fig11a-fig11d, fig12, ablation.
+// fig11a-fig11d, fig12, ablation, cluster, fibupdate, faults.
 package main
 
 import (

@@ -49,10 +49,10 @@ func main() {
 	for _, size := range []int{64, 512, 1514} {
 		row := fmt.Sprintf("  %4dB:", size)
 		for _, mode := range []packetshader.Mode{packetshader.ModeCPUOnly, packetshader.ModeGPU} {
-			inst := packetshader.IPsec(13,
+			inst := packetshader.Must(packetshader.IPsec(13,
 				packetshader.WithMode(mode),
 				packetshader.WithPacketSize(size),
-				packetshader.WithStreams(4)) // §5.4: streams help IPsec
+				packetshader.WithStreams(4))) // §5.4: streams help IPsec
 			inst.Run(20 * packetshader.Millisecond) // warmup (rings fill slowly)
 			rep := inst.Run(8 * packetshader.Millisecond)
 			row += fmt.Sprintf("  %5.1f", rep.InputGbps)

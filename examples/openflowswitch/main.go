@@ -71,9 +71,9 @@ func main() {
 		name string
 		m    packetshader.Mode
 	}{{"CPU-only", packetshader.ModeCPUOnly}, {"CPU+GPU ", packetshader.ModeGPU}} {
-		inst := packetshader.OpenFlowSwitch(sw, src,
+		inst := packetshader.Must(packetshader.OpenFlowSwitch(sw, src,
 			packetshader.WithMode(mode.m),
-			packetshader.WithPacketSize(64))
+			packetshader.WithPacketSize(64)))
 		inst.Run(6 * packetshader.Millisecond) // warmup
 		rep := inst.Run(8 * packetshader.Millisecond)
 		fmt.Printf("%s  %5.1f Gbps  (table misses so far: %d)\n",

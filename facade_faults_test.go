@@ -1,0 +1,101 @@
+package packetshader_test
+
+import (
+	"strings"
+	"testing"
+
+	"packetshader"
+	"packetshader/internal/pktgen"
+)
+
+// TestOptionPacketSizeReachesGenerator is the regression test for the
+// bug class the old syncSourceSize hack papered over: the source is now
+// constructed from the resolved config, so WithPacketSize must land in
+// the generator no matter where it sits in the option list.
+func TestOptionPacketSizeReachesGenerator(t *testing.T) {
+	v4 := packetshader.Must(packetshader.IPv4(1000, 3,
+		packetshader.WithOfferedGbps(5),
+		packetshader.WithPacketSize(512)))
+	if s, ok := v4.Router.Source().(*pktgen.UDP4Source); !ok || s.Size != 512 {
+		t.Errorf("IPv4 generator size = %+v, want 512", v4.Router.Source())
+	}
+	v6 := packetshader.Must(packetshader.IPv6(1000, 3,
+		packetshader.WithPacketSize(1024),
+		packetshader.WithMode(packetshader.ModeCPUOnly)))
+	if s, ok := v6.Router.Source().(*pktgen.UDP6Source); !ok || s.Size != 1024 {
+		t.Errorf("IPv6 generator size = %+v, want 1024", v6.Router.Source())
+	}
+	// And the configured size really flows to the wire: mean delivered
+	// frame must match, not the 64B default.
+	rep := v4.Run(2 * packetshader.Millisecond)
+	if rep.DeliveredGbps <= 0 {
+		t.Fatal("512B run delivered nothing")
+	}
+}
+
+// TestReportRoundTripUnchanged pins the redesigned build path: reports
+// from two identical constructions must be equal field-for-field, in
+// both CPU-only and fault-free GPU mode.
+func TestReportRoundTripUnchanged(t *testing.T) {
+	run := func(mode packetshader.Mode) packetshader.Report {
+		inst := packetshader.Must(packetshader.IPv4(3000, 7,
+			packetshader.WithMode(mode)))
+		inst.Run(2 * packetshader.Millisecond) // warmup
+		return inst.Run(2 * packetshader.Millisecond)
+	}
+	for _, mode := range []packetshader.Mode{packetshader.ModeCPUOnly, packetshader.ModeGPU} {
+		r1, r2 := run(mode), run(mode)
+		if r1 != r2 {
+			t.Errorf("mode %v: identical builds diverged:\n%+v\n%+v", mode, r1, r2)
+		}
+		if r1.DegradedTime != 0 {
+			t.Errorf("mode %v: fault-free run reports degraded time %v", mode, r1.DegradedTime)
+		}
+	}
+}
+
+func TestFacadeGPUOutage(t *testing.T) {
+	inst := packetshader.Must(packetshader.IPv4(2000, 5,
+		packetshader.WithGPUOutage(1*packetshader.Millisecond, 2*packetshader.Millisecond)))
+	rep := inst.Run(6 * packetshader.Millisecond)
+	if rep.Stats.GPUStalls == 0 {
+		t.Error("outage produced no watchdog stalls")
+	}
+	if rep.DegradedTime == 0 {
+		t.Error("outage produced no degraded time")
+	}
+	if rep.DeliveredGbps <= 0 {
+		t.Error("throughput collapsed during outage")
+	}
+}
+
+func TestFacadeLinkFlap(t *testing.T) {
+	inst := packetshader.Must(packetshader.IPv4(2000, 5,
+		packetshader.WithLinkFlap(0, 1*packetshader.Millisecond, 1*packetshader.Millisecond)))
+	rep := inst.Run(4 * packetshader.Millisecond)
+	if inst.Router.CarrierDrops() == 0 {
+		t.Error("flap produced no carrier drops")
+	}
+	if rep.DroppedPackets < inst.Router.CarrierDrops() {
+		t.Error("Report.DroppedPackets does not include carrier drops")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := packetshader.IPv4(1000, 1, packetshader.WithPacketSize(4000)); err == nil ||
+		!strings.Contains(err.Error(), "packet size") {
+		t.Errorf("oversized packet accepted: %v", err)
+	}
+	if _, err := packetshader.IPv6(1000, 1, packetshader.WithStreams(0)); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if _, err := packetshader.IPsec(1, packetshader.WithChunkCap(0)); err == nil {
+		t.Error("zero chunk cap accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Must did not panic on error")
+		}
+	}()
+	packetshader.Must(packetshader.IPv4(1000, 1, packetshader.WithPacketSize(10)))
+}

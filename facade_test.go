@@ -27,9 +27,9 @@ func TestFacadeIPv4BothModes(t *testing.T) {
 }
 
 func TestFacadeIPv6PacketSizeOption(t *testing.T) {
-	inst := packetshader.IPv6(2000, 5,
+	inst := packetshader.Must(packetshader.IPv6(2000, 5,
 		packetshader.WithPacketSize(256),
-		packetshader.WithOfferedGbps(5))
+		packetshader.WithOfferedGbps(5)))
 	rep := inst.Run(3 * packetshader.Millisecond)
 	if rep.DeliveredGbps <= 0 {
 		t.Errorf("delivered %.2f", rep.DeliveredGbps)
@@ -40,9 +40,9 @@ func TestFacadeIPv6PacketSizeOption(t *testing.T) {
 }
 
 func TestFacadeIPsecStreams(t *testing.T) {
-	inst := packetshader.IPsec(7,
+	inst := packetshader.Must(packetshader.IPsec(7,
 		packetshader.WithPacketSize(512),
-		packetshader.WithStreams(4))
+		packetshader.WithStreams(4)))
 	inst.Run(3 * packetshader.Millisecond)
 	rep := inst.Run(3 * packetshader.Millisecond)
 	if rep.InputGbps <= 0 {
@@ -65,9 +65,9 @@ func TestFacadeRepeatedRunsContinue(t *testing.T) {
 }
 
 func TestFacadeOpportunisticOffload(t *testing.T) {
-	inst := packetshader.IPv6(2000, 11,
+	inst := packetshader.Must(packetshader.IPv6(2000, 11,
 		packetshader.WithOpportunisticOffload(),
-		packetshader.WithOfferedGbps(0.1))
+		packetshader.WithOfferedGbps(0.1)))
 	rep := inst.Run(5 * packetshader.Millisecond)
 	if rep.Stats.ChunksCPU == 0 {
 		t.Error("opportunistic offload never used the CPU path at light load")

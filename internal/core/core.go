@@ -9,7 +9,9 @@
 package core
 
 import (
+	"packetshader/internal/faults"
 	"packetshader/internal/hw/gpu"
+	"packetshader/internal/hw/nic"
 	"packetshader/internal/model"
 	"packetshader/internal/packet"
 	"packetshader/internal/pktio"
@@ -110,7 +112,27 @@ type Config struct {
 	// workload applied to every port.
 	PacketSize         int
 	OfferedGbpsPerPort float64
+
+	// Faults, when non-nil, is a fault plan armed (relative to start
+	// time) when the router starts.
+	Faults *faults.Plan
+	// GPUWatchdog is how long a master waits on a launch before
+	// declaring the device stalled and falling back to the CPU path.
+	// Zero selects the default.
+	GPUWatchdog sim.Duration
+	// GPUBackoff is the initial hold-out after a detected stall; each
+	// further failed probe doubles it up to GPUBackoffMax. Zero selects
+	// the defaults.
+	GPUBackoff    sim.Duration
+	GPUBackoffMax sim.Duration
 }
+
+// Recovery-policy defaults (used when the Config fields are zero).
+const (
+	defaultGPUWatchdog   = 500 * sim.Microsecond
+	defaultGPUBackoff    = 1 * sim.Millisecond
+	defaultGPUBackoffMax = 8 * sim.Millisecond
+)
 
 // DefaultConfig returns the paper's CPU+GPU configuration at full load.
 func DefaultConfig() Config {
@@ -126,6 +148,9 @@ func DefaultConfig() Config {
 		OppThreshold:         32,
 		PacketSize:           64,
 		OfferedGbpsPerPort:   10,
+		GPUWatchdog:          defaultGPUWatchdog,
+		GPUBackoff:           defaultGPUBackoff,
+		GPUBackoffMax:        defaultGPUBackoffMax,
 	}
 }
 
@@ -136,6 +161,11 @@ type Stats struct {
 	Packets     uint64
 	Drops       uint64 // dropped by application decision
 	GPULaunches uint64
+	// GPUStalls counts launches that hit the master watchdog;
+	// FallbackChunks counts chunks the master re-dispatched through the
+	// CPU path after a stall (a subset of ChunksCPU).
+	GPUStalls      uint64
+	FallbackChunks uint64
 }
 
 // Router wires the engine, devices, workers and masters together.
@@ -146,10 +176,11 @@ type Router struct {
 	App     App
 	Devices []*gpu.Device
 
-	workers []*worker
-	masters []*master
-	Stats   Stats
-	obs     *routerObs
+	workers  []*worker
+	masters  []*master
+	Stats    Stats
+	obs      *routerObs
+	injector *faults.Injector
 
 	start sim.Time
 	// measurement baselines (set by ResetMeasurement to exclude warmup
@@ -167,6 +198,20 @@ func New(env *sim.Env, cfg Config, app App) *Router {
 	workersPerNode := model.CoresPerNode
 	if cfg.Mode == ModeGPU {
 		workersPerNode = model.CoresPerNode - 1
+	}
+	// Hand-built Configs may leave the recovery knobs zero; normalize so
+	// the watchdog path is always well-defined.
+	if cfg.GPUWatchdog <= 0 {
+		cfg.GPUWatchdog = defaultGPUWatchdog
+	}
+	if cfg.GPUBackoff <= 0 {
+		cfg.GPUBackoff = defaultGPUBackoff
+	}
+	if cfg.GPUBackoffMax < cfg.GPUBackoff {
+		cfg.GPUBackoffMax = defaultGPUBackoffMax
+		if cfg.GPUBackoffMax < cfg.GPUBackoff {
+			cfg.GPUBackoffMax = cfg.GPUBackoff
+		}
 	}
 	cfg.IO.QueuesPerPort = workersPerNode
 	if !cfg.IO.NUMAAware {
@@ -229,9 +274,7 @@ func (r *Router) workerAt(node, idx int) *worker {
 
 // SetSource configures the offered load on every RX queue: each port's
 // line share is split evenly across its RSS queues.
-func (r *Router) SetSource(src interface {
-	Fill(b *packet.Buf, port, queue int, seq uint64)
-}) {
+func (r *Router) SetSource(src nic.FrameSource) {
 	r.src = src
 	pps := r.Cfg.OfferedGbpsPerPort * 1e9 /
 		(float64(model.WireBytes(r.Cfg.PacketSize)) * 8)
@@ -246,9 +289,15 @@ func (r *Router) SetSource(src interface {
 // Source returns the frame source installed by SetSource (nil before).
 func (r *Router) Source() any { return r.src }
 
-// Start launches all worker and master processes.
+// Start launches all worker and master processes and arms the fault
+// plan, if the config carries one, relative to the current time.
 func (r *Router) Start() {
 	r.start = r.Env.Now()
+	if r.Cfg.Faults.Len() > 0 {
+		r.injector = faults.NewInjector(r.Env, r.Cfg.Faults, r)
+		r.injector.SetTrace(r.obs.tr, r.obs.faultTrack)
+		r.injector.Arm()
+	}
 	for _, m := range r.masters {
 		m := m
 		r.Env.Go("master", func(p *sim.Proc) { m.run(p) })

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"packetshader/internal/faults"
 	"packetshader/internal/hw/gpu"
 	"packetshader/internal/model"
 	"packetshader/internal/packet"
@@ -317,5 +318,161 @@ func TestBufPoolBoundedUnderLoad(t *testing.T) {
 	bound := (len(r.workers)*(cfg.MaxInFlight+2) + model.InputQueueDepth + model.OutputQueueDepth) * cfg.ChunkCap * 4
 	if r.Engine.Pool.Allocs > bound {
 		t.Errorf("pool allocated %d cells, bound %d: leak through the pipeline", r.Engine.Pool.Allocs, bound)
+	}
+}
+
+func TestGPUOutageFallsBackAndRecovers(t *testing.T) {
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeGPU)
+	cfg.GPUWatchdog = 100 * sim.Microsecond
+	cfg.GPUBackoff = 500 * sim.Microsecond
+	cfg.GPUBackoffMax = 2 * sim.Millisecond
+	cfg.Faults = faults.NewPlan().GPUOutage(0, 2*sim.Millisecond, 3*sim.Millisecond)
+	r := runRouter(t, cfg, app, 10*sim.Millisecond)
+
+	if r.Stats.GPUStalls == 0 {
+		t.Fatal("watchdog never detected the stall")
+	}
+	if r.Stats.FallbackChunks == 0 {
+		t.Error("master never re-dispatched stalled chunks on the CPU")
+	}
+	if r.Stats.ChunksCPU == 0 {
+		t.Error("workers never degraded to the CPU path")
+	}
+	if r.masters[0].gpuOut {
+		t.Error("master still holds the GPU out after repair")
+	}
+	deg := r.DegradedTime()
+	// Outage spans from detection (~2ms + watchdog) until the first
+	// successful probe after the 5ms repair; backoff can push that probe
+	// past repair, but never beyond repair + backoff cap + a launch.
+	if deg < 2*sim.Millisecond || deg > 7*sim.Millisecond {
+		t.Errorf("degraded time = %v, want within (2ms, 7ms)", deg)
+	}
+	// The GPU path must be live again: launches strictly after recovery.
+	if r.Stats.GPULaunches == 0 || r.Stats.ChunksGPU == 0 {
+		t.Error("no GPU work at all despite recovery")
+	}
+	if r.Devices[0].Stalls != r.Stats.GPUStalls {
+		t.Errorf("device stalls %d != router stalls %d",
+			r.Devices[0].Stalls, r.Stats.GPUStalls)
+	}
+}
+
+func TestGPUOutageThroughputStaysUp(t *testing.T) {
+	// Delivered throughput during the outage must stay within the
+	// CPU-only envelope, not collapse to zero — the graceful part.
+	app := newEchoApp(2)
+	base := smallConfig(ModeGPU)
+	base.GPUWatchdog = 100 * sim.Microsecond
+	base.GPUBackoff = 1 * sim.Millisecond
+
+	cpuOnly := runRouter(t, smallConfig(ModeCPUOnly), app, 6*sim.Millisecond)
+	envelope := cpuOnly.DeliveredGbps()
+
+	cfg := base
+	cfg.Faults = faults.NewPlan().GPUOutage(0, 1*sim.Millisecond, 20*sim.Millisecond)
+	env := sim.NewEnv()
+	r := New(env, cfg, newEchoApp(2))
+	r.SetSource(seqSource{})
+	r.Start()
+	env.Run(sim.Time(3 * sim.Millisecond)) // fail at 1ms, detect, degrade
+	r.ResetMeasurement()
+	env.Run(sim.Time(6 * sim.Millisecond)) // pure outage window
+	got := r.DeliveredGbps()
+	if got <= 0 {
+		t.Fatal("throughput collapsed to zero during GPU outage")
+	}
+	if got > envelope*1.10 {
+		t.Errorf("outage throughput %.2f Gbps exceeds CPU-only envelope %.2f", got, envelope)
+	}
+}
+
+func TestLinkFlapDropsThenResumes(t *testing.T) {
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeCPUOnly)
+	cfg.Faults = faults.NewPlan().LinkFlap(1, 1*sim.Millisecond, 1*sim.Millisecond)
+	env := sim.NewEnv()
+	r := New(env, cfg, app)
+	r.SetSource(seqSource{})
+	r.Start()
+	env.Run(sim.Time(2 * sim.Millisecond)) // carrier down 1ms..2ms
+	drops := r.CarrierDrops()
+	tx1 := r.Engine.Ports[1].Tx.Stats.Packets
+	if drops == 0 {
+		t.Fatal("no carrier drops while port 1 was down")
+	}
+	env.Run(sim.Time(4 * sim.Millisecond))
+	if got := r.CarrierDrops(); got != drops {
+		t.Errorf("carrier drops kept growing after restore: %d -> %d", drops, got)
+	}
+	if r.Engine.Ports[1].Tx.Stats.Packets <= tx1 {
+		t.Error("port 1 TX did not resume after carrier restore")
+	}
+}
+
+func TestWorkersSurviveFullCarrierOutage(t *testing.T) {
+	// With every port down, TimeToPacket must keep reporting alive so
+	// workers poll instead of retiring permanently.
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeCPUOnly)
+	cfg.Faults = faults.NewPlan().
+		LinkFlap(0, 1*sim.Millisecond, 1*sim.Millisecond).
+		LinkFlap(1, 1*sim.Millisecond, 1*sim.Millisecond)
+	env := sim.NewEnv()
+	r := New(env, cfg, app)
+	r.SetSource(seqSource{})
+	r.Start()
+	env.Run(sim.Time(2 * sim.Millisecond))
+	fetched := r.Stats.Packets
+	env.Run(sim.Time(4 * sim.Millisecond))
+	if r.Stats.Packets <= fetched {
+		t.Error("workers retired during the outage and never resumed")
+	}
+}
+
+func TestRxDropBurstAccounted(t *testing.T) {
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeCPUOnly)
+	cfg.Faults = faults.NewPlan().RxDropBurst(0, 1*sim.Millisecond, 500*sim.Microsecond)
+	r := runRouter(t, cfg, app, 3*sim.Millisecond)
+	_, rxDropped, _, _ := r.Engine.AggregateStats()
+	if rxDropped == 0 {
+		t.Error("drop burst produced no RX drops")
+	}
+}
+
+func TestFaultPlanIgnoredGracefullyInCPUMode(t *testing.T) {
+	// GPU faults target devices that do not exist in CPU-only mode; the
+	// plan must be a no-op, not a crash.
+	app := newEchoApp(2)
+	cfg := smallConfig(ModeCPUOnly)
+	cfg.Faults = faults.NewPlan().
+		GPUOutage(0, 1*sim.Millisecond, 1*sim.Millisecond).
+		PCIeRetrain(1, 1*sim.Millisecond, 1*sim.Millisecond)
+	r := runRouter(t, cfg, app, 3*sim.Millisecond)
+	if r.Stats.GPUStalls != 0 || r.DegradedTime() != 0 {
+		t.Error("CPU-only run recorded GPU fault effects")
+	}
+	if r.Stats.Packets == 0 {
+		t.Error("router stopped forwarding")
+	}
+}
+
+func TestFaultRunsDeterministic(t *testing.T) {
+	run := func() (Stats, uint64, sim.Duration) {
+		cfg := smallConfig(ModeGPU)
+		cfg.GPUWatchdog = 100 * sim.Microsecond
+		cfg.Faults = faults.NewPlan().
+			GPUOutage(0, 1*sim.Millisecond, 2*sim.Millisecond).
+			LinkFlap(1, 2*sim.Millisecond, 500*sim.Microsecond)
+		r := runRouter(t, cfg, newEchoApp(2), 6*sim.Millisecond)
+		return r.Stats, r.CarrierDrops(), r.DegradedTime()
+	}
+	s1, c1, d1 := run()
+	s2, c2, d2 := run()
+	if s1 != s2 || c1 != c2 || d1 != d2 {
+		t.Errorf("identical fault runs diverged:\n%+v %d %v\n%+v %d %v",
+			s1, c1, d1, s2, c2, d2)
 	}
 }

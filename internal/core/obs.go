@@ -19,14 +19,21 @@ type routerObs struct {
 	workerTracks []obs.TrackID
 	masterTracks []obs.TrackID
 
+	// faultTrack carries the injector's event instants plus nothing
+	// else, so fault timelines read separately from the pipeline.
+	faultTrack obs.TrackID
+
 	// chunkLatency measures fetch-complete → TX-handoff per chunk;
 	// gpuWait measures time spent in the master input queue (§5.4
 	// pipelining visibility); chunkSize and launchThreads record batch
 	// sizes, the paper's central latency/throughput dial (Figure 2).
+	// fallbackChunk records the sizes of chunks re-dispatched through
+	// the CPU path after a GPU stall.
 	chunkLatency  *obs.Histogram
 	gpuWait       *obs.Histogram
 	chunkSize     *obs.Histogram
 	launchThreads *obs.Histogram
+	fallbackChunk *obs.Histogram
 }
 
 func newRouterObs(workers, nodes int) *routerObs {
@@ -61,10 +68,12 @@ func (r *Router) EnableObs(tr *obs.Tracer, reg *obs.Registry) {
 	for _, dev := range r.Devices {
 		dev.EnableTrace(tr)
 	}
+	o.faultTrack = tr.Track("faults", "injector")
 	o.chunkLatency = reg.Histogram("core.chunk_latency", obs.UnitDuration)
 	o.gpuWait = reg.Histogram("core.gpu_queue_wait", obs.UnitDuration)
 	o.chunkSize = reg.Histogram("core.chunk_packets", obs.UnitCount)
 	o.launchThreads = reg.Histogram("core.launch_threads", obs.UnitCount)
+	o.fallbackChunk = reg.Histogram("core.fallback_chunk_packets", obs.UnitCount)
 }
 
 // ObserveStats snapshots the router's cumulative counters (framework,
@@ -81,10 +90,14 @@ func (r *Router) ObserveStats() {
 	reg.Counter("core.chunks_gpu").Set(r.Stats.ChunksGPU)
 	reg.Counter("core.gpu_launches").Set(r.Stats.GPULaunches)
 	reg.Counter("core.app_drops").Set(r.Stats.Drops)
+	reg.Counter("core.gpu_stalls").Set(r.Stats.GPUStalls)
+	reg.Counter("core.fallback_chunks").Set(r.Stats.FallbackChunks)
+	reg.Counter("core.degraded_time_ps").Set(uint64(r.DegradedTime()))
 	for _, d := range r.Devices {
 		n := strconv.Itoa(d.Node)
 		reg.Counter("gpu" + n + ".launches").Set(d.Launches)
 		reg.Counter("gpu" + n + ".threads_run").Set(d.ThreadsRun)
+		reg.Counter("gpu" + n + ".stalls").Set(d.Stalls)
 	}
 	r.Engine.ObserveStats(reg)
 	if mr, ok := r.App.(MetricsReporter); ok {

@@ -68,6 +68,12 @@ func (w *worker) run(p *sim.Proc) {
 					// latency.
 					offload = false
 				}
+				if offload && w.master.heldOut(p.Now()) {
+					// The watchdog has the GPU held out: degrade to the
+					// CPU path. The first offload after the backoff
+					// expires is the recovery probe.
+					offload = false
+				}
 				if offload {
 					c.enqueued = p.Now()
 					w.inflight++
@@ -146,6 +152,13 @@ func (w *worker) finish(p *sim.Proc, c *Chunk) {
 	}
 	txStart := p.Now()
 	for _, port := range order {
+		if tx := w.router.Engine.Ports[port].Tx; !tx.CarrierUp() {
+			// Carrier down: pause TX to this port — the NIC drops and
+			// accounts the packets; the worker spends no send cycles on
+			// a dead link.
+			tx.Transmit(byPort[port])
+			continue
+		}
 		w.router.Engine.Send(p, w.node, port, byPort[port])
 	}
 	if len(order) > 0 {

@@ -89,6 +89,7 @@ var Registry = []struct {
 	{"ablation", Ablation},
 	{"cluster", Cluster},
 	{"fibupdate", FIBUpdate},
+	{"faults", FaultScenario},
 }
 
 // Run executes the experiment with the given ID (or all of them for

@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"packetshader/internal/sim"
+)
+
+// recordingTarget logs every injection with its virtual timestamp.
+type recordingTarget struct {
+	env *sim.Env
+	log []record
+}
+
+type record struct {
+	at   sim.Time
+	what string
+	arg  int
+}
+
+func (t *recordingTarget) note(what string, arg int) {
+	t.log = append(t.log, record{t.env.Now(), what, arg})
+}
+
+func (t *recordingTarget) SetCarrier(port int, up bool) {
+	if up {
+		t.note("carrier-up", port)
+	} else {
+		t.note("carrier-down", port)
+	}
+}
+func (t *recordingTarget) RxDropBurst(port int, d sim.Duration) { t.note("burst", port) }
+func (t *recordingTarget) FailGPU(node int)                     { t.note("fail", node) }
+func (t *recordingTarget) RepairGPU(node int)                   { t.note("repair", node) }
+func (t *recordingTarget) RetrainPCIe(node, div int)            { t.note("retrain", div) }
+
+func TestPlanEventsSortedStable(t *testing.T) {
+	pl := NewPlan().
+		GPUOutage(0, 5*sim.Millisecond, 2*sim.Millisecond).
+		LinkFlap(3, 1*sim.Millisecond, 1*sim.Millisecond).
+		RxDropBurst(1, 5*sim.Millisecond, 100*sim.Microsecond)
+	evs := pl.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d, want 5", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events not sorted: %v after %v", evs[i].At, evs[i-1].At)
+		}
+	}
+	// Same-offset events keep insertion order: gpu-fail before burst.
+	if evs[2].Kind != KindGPUFail || evs[3].Kind != KindRxDropBurst {
+		t.Errorf("tie-break broken: got %v then %v", evs[2].Kind, evs[3].Kind)
+	}
+	// Events must not mutate the plan's own order.
+	if pl.events[0].Kind != KindGPUFail {
+		t.Error("Events() sorted the plan in place")
+	}
+}
+
+func TestInjectorDeliversAtScheduledTimes(t *testing.T) {
+	env := sim.NewEnv()
+	tgt := &recordingTarget{env: env}
+	pl := NewPlan().
+		LinkFlap(2, 1*sim.Millisecond, 500*sim.Microsecond).
+		GPUOutage(1, 2*sim.Millisecond, 1*sim.Millisecond)
+	in := NewInjector(env, pl, tgt)
+	// Arm after a warmup offset: events are relative to Arm time.
+	env.At(sim.Time(10*sim.Millisecond), func() { in.Arm() })
+	env.Run(0)
+
+	want := []record{
+		{sim.Time(11 * sim.Millisecond), "carrier-down", 2},
+		{sim.Time(11*sim.Millisecond + 500*sim.Microsecond), "carrier-up", 2},
+		{sim.Time(12 * sim.Millisecond), "fail", 1},
+		{sim.Time(13 * sim.Millisecond), "repair", 1},
+	}
+	if !reflect.DeepEqual(tgt.log, want) {
+		t.Errorf("log = %+v, want %+v", tgt.log, want)
+	}
+	if in.Injected[KindLinkDown] != 1 || in.Injected[KindGPURepair] != 1 {
+		t.Errorf("injected counts wrong: %v", in.Injected)
+	}
+}
+
+func TestInjectorPCIeRetrainRestore(t *testing.T) {
+	env := sim.NewEnv()
+	tgt := &recordingTarget{env: env}
+	in := NewInjector(env, NewPlan().PCIeRetrain(0, 0, sim.Duration(sim.Millisecond)), tgt)
+	in.Arm()
+	env.Run(0)
+	want := []record{
+		{0, "retrain", 2},
+		{sim.Time(sim.Millisecond), "retrain", 1},
+	}
+	if !reflect.DeepEqual(tgt.log, want) {
+		t.Errorf("log = %+v, want %+v", tgt.log, want)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := Random(42, 20*sim.Millisecond, 8, 2, 6)
+	b := Random(42, 20*sim.Millisecond, 8, 2, 6)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Error("same seed produced different plans")
+	}
+	if a.Len() < 6 {
+		t.Errorf("plan has %d events for 6 episodes", a.Len())
+	}
+	c := Random(43, 20*sim.Millisecond, 8, 2, 6)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Error("different seeds produced identical plans")
+	}
+	for _, ev := range a.Events() {
+		if ev.At < 0 || ev.At > 20*sim.Millisecond+20*sim.Millisecond/16 {
+			t.Errorf("event offset %v outside horizon", ev.At)
+		}
+		if ev.Port < 0 || ev.Port >= 8 || ev.Node < 0 || ev.Node >= 2 {
+			t.Errorf("event target out of range: %+v", ev)
+		}
+	}
+}
+
+func TestNilAndEmptyPlans(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Len() != 0 || nilPlan.Events() != nil {
+		t.Error("nil plan is not inert")
+	}
+	if NewPlan().Len() != 0 {
+		t.Error("empty plan has events")
+	}
+}

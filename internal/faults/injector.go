@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"packetshader/internal/obs"
+	"packetshader/internal/sim"
+)
+
+// Target is what a fault plan acts on. internal/core.Router implements
+// it; tests substitute fakes. Implementations must be non-blocking:
+// injections run in scheduler context (sim.Env.At callbacks), not in a
+// process.
+type Target interface {
+	// SetCarrier raises or drops the carrier of one port (RX and TX).
+	SetCarrier(port int, up bool)
+	// RxDropBurst discards port's RX arrivals for d of virtual time.
+	RxDropBurst(port int, d sim.Duration)
+	// FailGPU stalls node's GPU until RepairGPU.
+	FailGPU(node int)
+	// RepairGPU restores node's GPU.
+	RepairGPU(node int)
+	// RetrainPCIe sets node's GPU-link β-divisor (1 = full speed).
+	RetrainPCIe(node int, divisor int)
+}
+
+// Injector arms a Plan against a Target on a simulation environment.
+type Injector struct {
+	env  *sim.Env
+	plan *Plan
+	tgt  Target
+
+	tr    *obs.Tracer
+	track obs.TrackID
+
+	// Injected counts delivered events by kind (observability and
+	// tests).
+	Injected map[Kind]uint64
+}
+
+// NewInjector binds plan to tgt on env. Call Arm to schedule.
+func NewInjector(env *sim.Env, plan *Plan, tgt Target) *Injector {
+	return &Injector{env: env, plan: plan, tgt: tgt, Injected: map[Kind]uint64{}}
+}
+
+// SetTrace attaches a tracer track; each injected event is recorded as
+// an instant on it. Call before Arm.
+func (in *Injector) SetTrace(tr *obs.Tracer, track obs.TrackID) {
+	in.tr = tr
+	in.track = track
+}
+
+// Arm schedules every plan event at now+Event.At on the virtual clock.
+// Events fire in scheduler context and apply the fault directly to the
+// target, so injection timing is exact and independent of process
+// scheduling.
+func (in *Injector) Arm() {
+	now := in.env.Now()
+	for _, ev := range in.plan.Events() {
+		ev := ev
+		in.env.At(now+sim.Time(ev.At), func() { in.deliver(ev) })
+	}
+}
+
+func (in *Injector) deliver(ev Event) {
+	switch ev.Kind {
+	case KindLinkDown:
+		in.tgt.SetCarrier(ev.Port, false)
+	case KindLinkUp:
+		in.tgt.SetCarrier(ev.Port, true)
+	case KindGPUFail:
+		in.tgt.FailGPU(ev.Node)
+	case KindGPURepair:
+		in.tgt.RepairGPU(ev.Node)
+	case KindPCIeRetrain:
+		in.tgt.RetrainPCIe(ev.Node, ev.Div)
+	case KindPCIeRestore:
+		in.tgt.RetrainPCIe(ev.Node, 1)
+	case KindRxDropBurst:
+		in.tgt.RxDropBurst(ev.Port, ev.Dur)
+	}
+	in.Injected[ev.Kind]++
+	in.tr.Instant(in.track, ev.Kind.String(), in.env.Now(),
+		obs.Arg{Key: "port", Val: int64(ev.Port)},
+		obs.Arg{Key: "node", Val: int64(ev.Node)})
+}

@@ -95,6 +95,14 @@ type Device struct {
 	Launches   uint64
 	ThreadsRun uint64
 
+	// failed marks the device as stalled/failed (fault injection): a
+	// failed device never completes a launch — LaunchChecked times out
+	// its watchdog instead. Failure takes effect at launch boundaries;
+	// a launch already in flight completes normally.
+	failed bool
+	// Stalls counts launches that hit the watchdog on a failed device.
+	Stalls uint64
+
 	// trace, when enabled via EnableTrace, receives per-launch stage
 	// spans (h2d / kernel / d2h / sync) on the device's track. The
 	// copy/exec engine occupancy itself is traced at the sim.Server
@@ -117,6 +125,42 @@ func New(env *sim.Env, ioh *pcie.IOH, node int) *Device {
 
 // ExecBusy exposes cumulative execution-engine work.
 func (d *Device) ExecBusy() sim.Duration { return d.exec.BusyTime() }
+
+// Fail marks the device as stalled: subsequent LaunchChecked calls burn
+// their watchdog timeout and report failure until Repair.
+func (d *Device) Fail() { d.failed = true }
+
+// Repair restores the device; the next probe launch succeeds.
+func (d *Device) Repair() { d.failed = false }
+
+// Healthy reports whether the device currently completes launches.
+func (d *Device) Healthy() bool { return !d.failed }
+
+// LaunchChecked is Launch/LaunchStreams guarded by a host-side watchdog
+// (the master's recovery path): on a healthy device it behaves exactly
+// like Launch (or LaunchStreams when nStreams > 1) and returns true; on
+// a failed device the caller blocks for the watchdog timeout — the time
+// a real driver waits before declaring the launch hung — runs no
+// functional work, and gets false so it can fall back to the CPU path.
+func (d *Device) LaunchChecked(p *sim.Proc, spec *KernelSpec, watchdog sim.Duration, nStreams, threads, inBytes, outBytes, streamBytes int, fn func()) bool {
+	if threads <= 0 {
+		return true
+	}
+	if d.failed {
+		d.Stalls++
+		start := p.Now()
+		p.Sleep(watchdog)
+		d.trace.SpanUntil(d.track, "stall", start, p.Now(),
+			obs.Arg{Key: "threads", Val: int64(threads)})
+		return false
+	}
+	if nStreams > 1 {
+		d.LaunchStreams(p, spec, nStreams, threads, inBytes, outBytes, streamBytes, fn)
+	} else {
+		d.Launch(p, spec, threads, inBytes, outBytes, streamBytes, fn)
+	}
+	return true
+}
 
 // EnableTrace attaches tr to the device, recording launch stage spans
 // on a per-device track. A nil tr disables tracing.

@@ -262,3 +262,57 @@ func TestDivergenceZeroTreatedAsOne(t *testing.T) {
 		t.Error("zero divergence factor differs from 1")
 	}
 }
+
+func TestLaunchCheckedWatchdogAndRepair(t *testing.T) {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	const watchdog = 500 * sim.Microsecond
+	ran := 0
+	var okFailed, okRepaired bool
+	var stallDur sim.Duration
+	env.Go("master", func(p *sim.Proc) {
+		dev.Fail()
+		if dev.Healthy() {
+			t.Error("Healthy() true after Fail()")
+		}
+		start := p.Now()
+		okFailed = dev.LaunchChecked(p, &KernelIPv4, watchdog, 1, 64, 256, 128, 0,
+			func() { ran++ })
+		stallDur = sim.Duration(p.Now() - start)
+		dev.Repair()
+		okRepaired = dev.LaunchChecked(p, &KernelIPv4, watchdog, 1, 64, 256, 128, 0,
+			func() { ran++ })
+	})
+	env.Run(0)
+	if okFailed {
+		t.Error("launch on failed device reported success")
+	}
+	if stallDur != watchdog {
+		t.Errorf("stall burned %v, want the %v watchdog", stallDur, watchdog)
+	}
+	if dev.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", dev.Stalls)
+	}
+	if !okRepaired || ran != 1 {
+		t.Errorf("after repair ok=%v kernel runs=%d, want true/1", okRepaired, ran)
+	}
+	if dev.Launches != 1 {
+		t.Errorf("launches = %d; stalled attempts must not count", dev.Launches)
+	}
+}
+
+func TestLaunchCheckedUsesStreams(t *testing.T) {
+	env := sim.NewEnv()
+	dev := newDevice(env)
+	ran := false
+	env.Go("master", func(p *sim.Proc) {
+		if !dev.LaunchChecked(p, &KernelIPv4, 500*sim.Microsecond, 4, 256, 1024, 512, 0,
+			func() { ran = true }) {
+			t.Error("healthy streamed launch failed")
+		}
+	})
+	env.Run(0)
+	if !ran || dev.Launches != 1 {
+		t.Errorf("ran=%v launches=%d", ran, dev.Launches)
+	}
+}

@@ -369,3 +369,107 @@ func TestRxQueueDropConservationUnderFetch(t *testing.T) {
 		t.Error("overloaded queue recorded no drops")
 	}
 }
+
+func TestRxQueueCarrierDownStopsArrivals(t *testing.T) {
+	env := sim.NewEnv()
+	q, _ := newQueue(env)
+	q.SetOffered(1e6, 64, nil) // 1 Mpps
+	env.At(sim.Time(100*sim.Microsecond), func() { q.SetCarrier(false) })
+	env.At(sim.Time(300*sim.Microsecond), func() { q.SetCarrier(true) })
+	var avail int
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(400 * sim.Microsecond)
+		avail = q.Available()
+	})
+	env.Run(0)
+	// 100us up (≈100 pkts) + 200us down (0) + 100us up (≈100 pkts).
+	if avail < 198 || avail > 202 {
+		t.Errorf("available = %d after carrier gap, want ≈200", avail)
+	}
+	if q.Stats.Dropped != 0 {
+		t.Errorf("carrier-down counted %d drops; the peer stops sending", q.Stats.Dropped)
+	}
+}
+
+func TestRxQueueCarrierDownKeepsReaderAlive(t *testing.T) {
+	env := sim.NewEnv()
+	q, _ := newQueue(env)
+	q.SetOffered(1e6, 64, nil)
+	q.SetCarrier(false)
+	d, ok := q.TimeToPacket()
+	if !ok {
+		t.Fatal("TimeToPacket reported dead queue during carrier-down; readers would retire")
+	}
+	if d != q.Moderation {
+		t.Errorf("poll hint = %v, want moderation %v", d, q.Moderation)
+	}
+	var woke bool
+	env.Go("reader", func(p *sim.Proc) {
+		woke = q.WaitForPackets(p)
+	})
+	env.Run(0)
+	if !woke {
+		t.Error("WaitForPackets returned false during carrier-down")
+	}
+}
+
+func TestRxQueueDropBurstCountsDrops(t *testing.T) {
+	env := sim.NewEnv()
+	q, _ := newQueue(env)
+	q.SetOffered(1e6, 64, nil)
+	q.DropBurst(200 * sim.Microsecond)
+	var avail int
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(300 * sim.Microsecond)
+		avail = q.Available()
+	})
+	env.Run(0)
+	// 200us of arrivals dropped, the next 100us accumulates.
+	if q.Stats.Dropped < 198 || q.Stats.Dropped > 202 {
+		t.Errorf("dropped = %d in a 200us burst at 1Mpps, want ≈200", q.Stats.Dropped)
+	}
+	if avail < 98 || avail > 102 {
+		t.Errorf("available = %d after burst, want ≈100", avail)
+	}
+}
+
+func TestTxPortCarrierDownDropsWithoutBlocking(t *testing.T) {
+	env := sim.NewEnv()
+	ioh := pcie.NewIOH(env, 0)
+	tx := NewTxPort(env, 0, 16, []*pcie.IOH{ioh})
+	pool := packet.NewBufPool(2048)
+	mkBufs := func(n int) []*packet.Buf {
+		var bufs []*packet.Buf
+		for i := 0; i < n; i++ {
+			bufs = append(bufs, pool.Get(64))
+		}
+		return bufs
+	}
+	tx.SetCarrier(false)
+	var blockedFor sim.Duration
+	env.Go("sender", func(p *sim.Proc) {
+		start := p.Now()
+		// Far more than the 16-slot ring: must drop, not block.
+		tx.TransmitBlocking(p, mkBufs(64))
+		blockedFor = sim.Duration(p.Now() - start)
+	})
+	env.Run(0)
+	if blockedFor != 0 {
+		t.Errorf("TransmitBlocking blocked %v on a carrier-down port", blockedFor)
+	}
+	if tx.Stats.Dropped != 64 || tx.CarrierDrops != 64 {
+		t.Errorf("drops = %d carrier = %d, want 64/64", tx.Stats.Dropped, tx.CarrierDrops)
+	}
+	if tx.Stats.Packets != 0 {
+		t.Errorf("transmitted %d packets with no carrier", tx.Stats.Packets)
+	}
+	tx.SetCarrier(true)
+	env.Go("sender2", func(p *sim.Proc) { tx.TransmitBlocking(p, mkBufs(8)) })
+	env.Run(0)
+	if tx.Stats.Packets != 8 {
+		t.Errorf("after carrier-up transmitted %d, want 8", tx.Stats.Packets)
+	}
+	if tx.CarrierDrops != 64 {
+		t.Errorf("carrier drops moved to %d after restore", tx.CarrierDrops)
+	}
+}

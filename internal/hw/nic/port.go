@@ -42,6 +42,15 @@ type RxQueue struct {
 	dropAcc float64
 	fetched uint64 // sequence number of next packet to materialize
 
+	// carrierDown models link loss (fault injection): while down the
+	// peer sees no carrier either, so nothing arrives — the fluid
+	// process accrues neither packets nor drops.
+	carrierDown bool
+	// burstUntil, when ahead of lastUpd, marks an RX drop burst: frames
+	// arriving before it are discarded at the ring (counted in
+	// Stats.Dropped) instead of accumulating.
+	burstUntil sim.Time
+
 	// dmaPath lists the IOHs the RX DMA crosses (one for local
 	// placement; both when NUMA-blind placement crosses nodes, §4.5).
 	dmaPath []*pcie.IOH
@@ -94,13 +103,55 @@ func (q *RxQueue) SetOffered(rate float64, pktSize int, src FrameSource) {
 // SetDMAPath replaces the DMA path (placement-policy ablations).
 func (q *RxQueue) SetDMAPath(path []*pcie.IOH) { q.dmaPath = path }
 
+// SetCarrier raises or drops the queue's carrier. The fluid process is
+// advanced first so the transition splits the integration window at the
+// exact event time, keeping the arrival count independent of when the
+// next reader happens to poll.
+func (q *RxQueue) SetCarrier(up bool) {
+	q.update()
+	q.carrierDown = !up
+}
+
+// CarrierUp reports the link state (true before any fault injection).
+func (q *RxQueue) CarrierUp() bool { return !q.carrierDown }
+
+// DropBurst discards everything the queue receives for the next d of
+// virtual time (an injected ring-corruption/driver-pause burst). Counted
+// in Stats.Dropped. Overlapping bursts extend, not stack.
+func (q *RxQueue) DropBurst(d sim.Duration) {
+	q.update()
+	if until := q.env.Now() + sim.Time(d); until > q.burstUntil {
+		q.burstUntil = until
+	}
+}
+
 // update advances the fluid arrival process to now, dropping overflow.
 func (q *RxQueue) update() {
 	now := q.env.Now()
 	if now <= q.lastUpd {
 		return
 	}
+	if q.carrierDown {
+		q.lastUpd = now
+		return
+	}
 	dt := sim.Duration(now - q.lastUpd).Seconds()
+	if q.burstUntil > q.lastUpd {
+		// The window's prefix up to burstUntil is inside a drop burst:
+		// those arrivals go straight to Dropped (via dropAcc, so whole
+		// packets are counted exactly across burst edges).
+		end := now
+		if q.burstUntil < end {
+			end = q.burstUntil
+		}
+		burstDt := sim.Duration(end - q.lastUpd).Seconds()
+		q.dropAcc += q.rate * burstDt
+		if whole := math.Floor(q.dropAcc); whole > 0 {
+			q.Stats.Dropped += uint64(whole)
+			q.dropAcc -= whole
+		}
+		dt -= burstDt
+	}
 	q.lastUpd = now
 	arrived := q.rate * dt
 	q.occ += arrived
@@ -214,6 +265,12 @@ func (q *RxQueue) TimeToPacket() (d sim.Duration, ok bool) {
 	if q.rate <= 0 {
 		return 0, false
 	}
+	if q.carrierDown {
+		// Link down but load is configured: the carrier may come back
+		// (fault injection), so the reader must keep polling rather
+		// than retire. One moderation interval is the poll cadence.
+		return q.Moderation, true
+	}
 	return sim.DurationFromSeconds((1 - q.occ) / q.rate), true
 }
 
@@ -228,6 +285,13 @@ func (q *RxQueue) WaitForPackets(p *sim.Proc) bool {
 	}
 	if q.rate <= 0 {
 		return false
+	}
+	if q.carrierDown {
+		// No arrivals while the link is down; sleep one moderation
+		// interval and report alive so the caller re-polls.
+		p.Sleep(q.Moderation)
+		q.update()
+		return true
 	}
 	// Time until the next whole packet accumulates, plus moderation.
 	need := 1 - q.occ
@@ -248,8 +312,16 @@ type TxPort struct {
 	ringCap int
 
 	// Stats counts completed transmissions; Dropped counts packets
-	// discarded because the TX ring was full (output overload).
+	// discarded because the TX ring was full (output overload) or
+	// because the carrier was down.
 	Stats QueueStats
+	// carrierDown models link loss on the TX side: frames handed to a
+	// carrier-down port are dropped immediately (the driver cannot post
+	// them), without blocking the worker.
+	carrierDown bool
+	// CarrierDrops counts the Dropped subset attributable to carrier
+	// loss, so fault accounting separates it from ring overflow.
+	CarrierDrops uint64
 
 	// completions tracks scheduled batches (completion time of the
 	// batch's last packet, cumulative wire time, descriptor count) so
@@ -286,8 +358,22 @@ type completion struct {
 // ring (backlog measured in wire time) are dropped, as a real NIC's full
 // descriptor ring forces the driver to do. The caller does not block;
 // DMA and serialization proceed in virtual time.
+// SetCarrier raises or drops the port's TX carrier.
+func (t *TxPort) SetCarrier(up bool) { t.carrierDown = !up }
+
+// CarrierUp reports the TX link state.
+func (t *TxPort) CarrierUp() bool { return !t.carrierDown }
+
 func (t *TxPort) Transmit(bufs []*packet.Buf) {
 	if len(bufs) == 0 {
+		return
+	}
+	if t.carrierDown {
+		t.Stats.Dropped += uint64(len(bufs))
+		t.CarrierDrops += uint64(len(bufs))
+		for _, b := range bufs {
+			b.Release()
+		}
 		return
 	}
 	t.reap()
@@ -334,6 +420,12 @@ func (t *TxPort) Transmit(bufs []*packet.Buf) {
 // bandwidth.
 func (t *TxPort) TransmitBlocking(p *sim.Proc, bufs []*packet.Buf) {
 	if len(bufs) == 0 {
+		return
+	}
+	if t.carrierDown {
+		// Carrier loss is not backpressure: the worker must not park on
+		// a dead port. Drop and account immediately.
+		t.Transmit(bufs)
 		return
 	}
 	t.reap()

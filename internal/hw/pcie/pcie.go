@@ -96,6 +96,13 @@ func (i *IOH) DownBusy() sim.Duration { return i.down.BusyTime() }
 type Link struct {
 	up, down *sim.Server
 	ioh      *IOH
+
+	// retrain is the β-divisor of the link's current training state: 1
+	// (or 0) means fully trained; 2 models a retrain that renegotiated
+	// half the lanes, doubling the per-byte term of the α+size/β model
+	// while leaving the fixed α untouched. Set via SetRetrain by the
+	// fault injector.
+	retrain int
 }
 
 // NewLink attaches a device link to an IOH.
@@ -119,15 +126,53 @@ func (l *Link) CopyD2H(p *sim.Proc, size int) {
 	p.SleepUntil(l.ScheduleD2H(size))
 }
 
+// SetRetrain sets the link's β-divisor: 1 restores full speed, 2 halves
+// the effective byte rate (a degraded retrain after link errors).
+// Divisors below 1 are clamped to 1. Transfers already scheduled keep
+// their reserved times; only new reservations see the new rate.
+func (l *Link) SetRetrain(divisor int) {
+	if divisor < 1 {
+		divisor = 1
+	}
+	l.retrain = divisor
+}
+
+// RetrainDivisor reports the current β-divisor (1 = healthy).
+func (l *Link) RetrainDivisor() int {
+	if l.retrain < 1 {
+		return 1
+	}
+	return l.retrain
+}
+
+// h2dTime is the host→device transfer time under the current training
+// state: the calibrated α+size/β time plus (divisor-1) extra copies of
+// the size/β term.
+func (l *Link) h2dTime(size int) sim.Duration {
+	t := model.H2DTime(size)
+	if l.retrain > 1 {
+		t += sim.DurationFromSeconds(float64(l.retrain-1) * float64(size) / model.PCIeH2DBetaBps)
+	}
+	return t
+}
+
+func (l *Link) d2hTime(size int) sim.Duration {
+	t := model.D2HTime(size)
+	if l.retrain > 1 {
+		t += sim.DurationFromSeconds(float64(l.retrain-1) * float64(size) / model.PCIeD2HBetaBps)
+	}
+	return t
+}
+
 // ScheduleH2D is the non-blocking variant (for pipelined streams):
 // it reserves both resources and returns the completion time.
 func (l *Link) ScheduleH2D(size int) sim.Time {
-	return maxTime(l.down.Schedule(model.H2DTime(size)), l.ioh.ExpressDown(size))
+	return maxTime(l.down.Schedule(l.h2dTime(size)), l.ioh.ExpressDown(size))
 }
 
 // ScheduleD2H reserves a device→host transfer and returns completion.
 func (l *Link) ScheduleD2H(size int) sim.Time {
-	return maxTime(l.up.Schedule(model.D2HTime(size)), l.ioh.ExpressUp(size))
+	return maxTime(l.up.Schedule(l.d2hTime(size)), l.ioh.ExpressUp(size))
 }
 
 // UpBusy exposes cumulative device→host link work.
@@ -139,7 +184,7 @@ func (l *Link) DownBusy() sim.Duration { return l.down.BusyTime() }
 // ScheduleD2HAt reserves a device→host transfer that may not start
 // before notBefore (pipelined copy-out after a kernel completes).
 func (l *Link) ScheduleD2HAt(notBefore sim.Time, size int) sim.Time {
-	done := l.up.ScheduleAt(notBefore, model.D2HTime(size))
+	done := l.up.ScheduleAt(notBefore, l.d2hTime(size))
 	express := l.ioh.ExpressUp(size)
 	if express < notBefore {
 		express = notBefore

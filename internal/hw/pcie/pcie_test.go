@@ -172,3 +172,51 @@ func TestUpDownIndependentOnLink(t *testing.T) {
 		t.Errorf("directions fully serialized: h2d=%v d2h=%v sum=%v", h2dDone, d2hDone, sum)
 	}
 }
+
+func TestLinkRetrainHalvesBeta(t *testing.T) {
+	const size = 1 << 20
+	copyTime := func(l *Link, env *sim.Env) (h2d, d2h sim.Duration) {
+		env.Go("copier", func(p *sim.Proc) {
+			start := p.Now()
+			l.CopyH2D(p, size)
+			h2d = sim.Duration(p.Now() - start)
+			start = p.Now()
+			l.CopyD2H(p, size)
+			d2h = sim.Duration(p.Now() - start)
+		})
+		env.Run(0)
+		return
+	}
+	env := sim.NewEnv()
+	link := NewLink(env, NewIOH(env, 0), "gpu0")
+	if link.RetrainDivisor() != 1 {
+		t.Fatalf("fresh link divisor = %d", link.RetrainDivisor())
+	}
+	h2dFull, d2hFull := copyTime(link, env)
+
+	link.SetRetrain(2)
+	h2dHalf, d2hHalf := copyTime(link, env)
+	// Halving β doubles only the size/β term; α is unchanged.
+	wantH2D := h2dFull + sim.DurationFromSeconds(size/model.PCIeH2DBetaBps)
+	wantD2H := d2hFull + sim.DurationFromSeconds(size/model.PCIeD2HBetaBps)
+	tol := func(got, want sim.Duration) bool {
+		diff := float64(got - want)
+		return math.Abs(diff) < 0.01*float64(want)
+	}
+	if !tol(h2dHalf, wantH2D) {
+		t.Errorf("retrained H2D = %v, want ≈%v (full %v)", h2dHalf, wantH2D, h2dFull)
+	}
+	if !tol(d2hHalf, wantD2H) {
+		t.Errorf("retrained D2H = %v, want ≈%v (full %v)", d2hHalf, wantD2H, d2hFull)
+	}
+
+	link.SetRetrain(1)
+	h2dBack, _ := copyTime(link, env)
+	if h2dBack != h2dFull {
+		t.Errorf("restored H2D = %v, want %v", h2dBack, h2dFull)
+	}
+	link.SetRetrain(0) // clamps to 1
+	if link.RetrainDivisor() != 1 {
+		t.Errorf("divisor after SetRetrain(0) = %d, want 1", link.RetrainDivisor())
+	}
+}

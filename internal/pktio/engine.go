@@ -280,7 +280,7 @@ func (e *Engine) ObserveStats(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	var rx, rxBytes, rxDropped, tx, txBytes, txDropped uint64
+	var rx, rxBytes, rxDropped, tx, txBytes, txDropped, txCarrier uint64
 	for _, p := range e.Ports {
 		var prx, prxd uint64
 		for _, q := range p.Rx {
@@ -293,6 +293,7 @@ func (e *Engine) ObserveStats(reg *obs.Registry) {
 		tx += p.Tx.Stats.Packets
 		txBytes += p.Tx.Stats.Bytes
 		txDropped += p.Tx.Stats.Dropped
+		txCarrier += p.Tx.CarrierDrops
 		id := strconv.Itoa(p.ID)
 		reg.Counter("pktio.port" + id + ".rx_packets").Set(prx)
 		reg.Counter("pktio.port" + id + ".rx_dropped").Set(prxd)
@@ -305,6 +306,7 @@ func (e *Engine) ObserveStats(reg *obs.Registry) {
 	reg.Counter("pktio.tx_packets").Set(tx)
 	reg.Counter("pktio.tx_bytes").Set(txBytes)
 	reg.Counter("pktio.tx_dropped").Set(txDropped)
+	reg.Counter("pktio.tx_carrier_drops").Set(txCarrier)
 }
 
 // AggregateStats sums per-queue counters on demand, the way the §4.4

@@ -20,8 +20,11 @@
 package packetshader
 
 import (
+	"fmt"
+
 	"packetshader/internal/apps"
 	"packetshader/internal/core"
+	"packetshader/internal/faults"
 	"packetshader/internal/model"
 	"packetshader/internal/openflow"
 	"packetshader/internal/packet"
@@ -56,6 +59,16 @@ const (
 
 // NumPorts is the testbed's port count (8 × 10GbE).
 const NumPorts = model.NumPorts
+
+// Source synthesizes the frames the RX queues receive. It is the
+// facade's name for the NIC-layer frame source: Fill writes the seq-th
+// frame of (port, queue) into b.Data (already sized to the configured
+// packet size) and sets b.Hash. The built-in generators in
+// internal/pktgen implement it; custom workloads implement it directly
+// (see examples/openflowswitch).
+type Source interface {
+	Fill(b *packet.Buf, port, queue int, seq uint64)
+}
 
 // Option tweaks a router configuration.
 type Option func(*core.Config)
@@ -92,6 +105,32 @@ func WithoutPipelining() Option { return func(c *core.Config) { c.Pipelining = f
 // WithGatherMax bounds how many chunks one GPU launch gathers (§5.4).
 func WithGatherMax(n int) Option { return func(c *core.Config) { c.GatherMax = n } }
 
+// WithGPUOutage schedules a GPU failure on every node at offset at from
+// the router's start, repaired after dur. The master watchdog degrades
+// to the CPU path for the outage (see Report.DegradedTime).
+func WithGPUOutage(at, dur Duration) Option {
+	return func(c *core.Config) {
+		if c.Faults == nil {
+			c.Faults = faults.NewPlan()
+		}
+		for n := 0; n < model.NumNodes; n++ {
+			c.Faults.GPUOutage(n, at, dur)
+		}
+	}
+}
+
+// WithLinkFlap schedules carrier loss on one port at offset at from the
+// router's start, restored after dur. Packets forwarded to the port
+// during the flap are dropped and counted in Report.DroppedPackets.
+func WithLinkFlap(port int, at, dur Duration) Option {
+	return func(c *core.Config) {
+		if c.Faults == nil {
+			c.Faults = faults.NewPlan()
+		}
+		c.Faults.LinkFlap(port, at, dur)
+	}
+}
+
 // Instance is an assembled router plus its workload generator and
 // latency sink, ready to Run.
 type Instance struct {
@@ -112,25 +151,63 @@ type Report struct {
 	// Latency statistics in microseconds (zero if nothing completed).
 	MeanLatencyUs float64
 	P99LatencyUs  float64
+	// DroppedPackets is the cumulative drop count from every cause: RX
+	// ring overflow, TX ring overflow, carrier loss, and application
+	// drop decisions.
+	DroppedPackets uint64
+	// DegradedTime is the cumulative virtual time any GPU was held out
+	// by the master watchdog (zero in fault-free and CPU-only runs).
+	DegradedTime Duration
 	// Stats are the framework counters.
 	Stats core.Stats
 }
 
-func build(app core.App, src interface {
-	Fill(b *packet.Buf, port, queue int, seq uint64)
-}, opts []Option) *Instance {
+// build assembles an Instance: options are applied to the default
+// config and validated *first*, then the source is constructed from the
+// resolved config — so a generator always sees the final packet size
+// and there is no post-hoc rebinding.
+func build(app core.App, mkSrc func(cfg *core.Config) Source, opts []Option) (*Instance, error) {
 	env := sim.NewEnv()
 	cfg := core.DefaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := validate(&cfg); err != nil {
+		return nil, err
 	}
 	r := core.New(env, cfg, app)
 	sink := pktgen.NewLatencySink()
 	for _, p := range r.Engine.Ports {
 		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) { sink.Observe(b, at) }
 	}
-	r.SetSource(src)
-	return &Instance{Env: env, Router: r, Sink: sink}
+	r.SetSource(mkSrc(&cfg))
+	return &Instance{Env: env, Router: r, Sink: sink}, nil
+}
+
+// validate rejects configurations the models are not calibrated for.
+func validate(cfg *core.Config) error {
+	switch {
+	case cfg.PacketSize < 64 || cfg.PacketSize > 1514:
+		return fmt.Errorf("packetshader: packet size %d outside 64..1514", cfg.PacketSize)
+	case cfg.OfferedGbpsPerPort < 0:
+		return fmt.Errorf("packetshader: negative offered load %g Gbps", cfg.OfferedGbpsPerPort)
+	case cfg.Streams < 1:
+		return fmt.Errorf("packetshader: streams %d < 1", cfg.Streams)
+	case cfg.ChunkCap < 1:
+		return fmt.Errorf("packetshader: chunk cap %d < 1", cfg.ChunkCap)
+	case cfg.GatherMax < 1:
+		return fmt.Errorf("packetshader: gather max %d < 1", cfg.GatherMax)
+	}
+	return nil
+}
+
+// Must unwraps a constructor result, panicking on error — for examples
+// and tests where a config error is a programming bug.
+func Must(inst *Instance, err error) *Instance {
+	if err != nil {
+		panic(err)
+	}
+	return inst
 }
 
 // IPv4 assembles an IPv4 forwarder with a synthetic BGP table of the
@@ -142,56 +219,34 @@ func IPv4(prefixes int, seed int64, opts ...Option) (*Instance, error) {
 		return nil, err
 	}
 	app := &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
-	inst := build(app, &pktgen.UDP4Source{Size: 64, Seed: uint64(seed), Table: entries}, opts)
-	syncSourceSize(inst)
-	return inst, nil
+	return build(app, func(cfg *core.Config) Source {
+		return &pktgen.UDP4Source{Size: cfg.PacketSize, Seed: uint64(seed), Table: entries}
+	}, opts)
 }
 
 // IPv6 assembles an IPv6 forwarder with n random prefixes (§6.2.2 uses
 // 200,000).
-func IPv6(prefixes int, seed int64, opts ...Option) *Instance {
+func IPv6(prefixes int, seed int64, opts ...Option) (*Instance, error) {
 	entries := route.GenerateIPv6Table(prefixes, 64, seed)
 	app := &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}
-	inst := build(app, &pktgen.UDP6Source{Size: 64, Seed: uint64(seed), Table: entries}, opts)
-	syncSourceSize(inst)
-	return inst
+	return build(app, func(cfg *core.Config) Source {
+		return &pktgen.UDP6Source{Size: cfg.PacketSize, Seed: uint64(seed), Table: entries}
+	}, opts)
 }
 
 // IPsec assembles the ESP tunnel gateway (§6.2.4), one SA per port.
-func IPsec(seed int64, opts ...Option) *Instance {
+func IPsec(seed int64, opts ...Option) (*Instance, error) {
 	app := apps.NewIPsecGW(model.NumPorts)
-	inst := build(app, &pktgen.UDP4Source{Size: 64, Seed: uint64(seed)}, opts)
-	syncSourceSize(inst)
-	return inst
+	return build(app, func(cfg *core.Config) Source {
+		return &pktgen.UDP4Source{Size: cfg.PacketSize, Seed: uint64(seed)}
+	}, opts)
 }
 
-// OpenFlowSwitch wraps a caller-configured switch data path (§6.2.3).
-func OpenFlowSwitch(sw *openflow.Switch, src interface {
-	Fill(b *packet.Buf, port, queue int, seq uint64)
-}, opts ...Option) *Instance {
+// OpenFlowSwitch wraps a caller-configured switch data path (§6.2.3)
+// fed by a caller-supplied frame source.
+func OpenFlowSwitch(sw *openflow.Switch, src Source, opts ...Option) (*Instance, error) {
 	app := apps.NewOFSwitch(sw, model.NumPorts)
-	return build(app, src, opts)
-}
-
-// syncSourceSize re-applies the source with the configured packet size
-// (options may have changed it after build wired the default).
-func syncSourceSize(inst *Instance) {
-	// The generator's Size field must match cfg.PacketSize; SetSource
-	// in build already used the final cfg rate, but the Fill size lives
-	// in the source. Rebind here.
-	cfg := inst.Router.Cfg
-	switch s := sourceOf(inst).(type) {
-	case *pktgen.UDP4Source:
-		s.Size = cfg.PacketSize
-	case *pktgen.UDP6Source:
-		s.Size = cfg.PacketSize
-	}
-}
-
-// sourceOf recovers the source bound to the first queue (all queues
-// share one source object).
-func sourceOf(inst *Instance) any {
-	return inst.Router.Source()
+	return build(app, func(*core.Config) Source { return src }, opts)
 }
 
 // Run starts the router (first call), advances virtual time by d, and
@@ -205,11 +260,14 @@ func (i *Instance) Run(d Duration) Report {
 	}
 	i.Router.ResetMeasurement()
 	i.Env.Run(i.Env.Now() + sim.Time(d))
+	_, rxDropped, _, txDropped := i.Router.Engine.AggregateStats()
 	return Report{
-		DeliveredGbps: i.Router.DeliveredGbps(),
-		InputGbps:     i.Router.InputGbps(),
-		MeanLatencyUs: i.Sink.MeanMicros(),
-		P99LatencyUs:  i.Sink.PercentileMicros(0.99),
-		Stats:         i.Router.Stats,
+		DeliveredGbps:  i.Router.DeliveredGbps(),
+		InputGbps:      i.Router.InputGbps(),
+		MeanLatencyUs:  i.Sink.MeanMicros(),
+		P99LatencyUs:   i.Sink.PercentileMicros(0.99),
+		DroppedPackets: rxDropped + txDropped + i.Router.Stats.Drops,
+		DegradedTime:   i.Router.DegradedTime(),
+		Stats:          i.Router.Stats,
 	}
 }

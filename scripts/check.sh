@@ -19,13 +19,19 @@ go run ./cmd/pslint ./...
 echo "== pslint (observability layer)"
 go run ./cmd/pslint ./internal/obs
 
+echo "== pslint (fault injector)"
+go run ./cmd/pslint ./internal/faults
+
 echo "== go test ./..."
 go test ./...
 
 echo "== trace/metrics determinism (byte-identical across runs)"
 go test -count=1 -run 'TestObsOutputByteIdenticalAcrossRuns|TestObsSpansCoverGPUAndPCIeBusyTime' ./internal/experiments
 
-echo "== go test -race (sim, core, cluster, pktio)"
-go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs
+echo "== fault-scenario determinism (byte-identical across runs)"
+go test -count=1 -run 'TestFaultScenarioDeterministicAndShaped|TestFaultRunsDeterministic' ./internal/experiments ./internal/core
+
+echo "== go test -race (sim, core, cluster, pktio, faults)"
+go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
 
 echo "== all checks passed"
