@@ -1,10 +1,16 @@
 # Development entry points. `make check` is the expanded tier-1
 # verification and mirrors CI (.github/workflows/ci.yml) exactly.
 
-.PHONY: check build test lint race trace-demo
+.PHONY: check build test lint race bench trace-demo
 
 check:
 	./scripts/check.sh
+
+# bench refreshes BENCH_PR4.json: the two key benchmarks with -benchmem,
+# plus the simulated-ns-per-wall-ns figure of merit. Pass BENCHTIME to
+# trade precision for speed (default 10x).
+bench:
+	./scripts/bench.sh $(BENCHTIME)
 
 build:
 	go build ./...

@@ -44,11 +44,15 @@ func (a *IPv4Fwd) Kernel() *gpu.KernelSpec { return &gpu.KernelIPv4 }
 // packets from the fast path, and gathers destination addresses for the
 // GPU (§6.2.1).
 func (a *IPv4Fwd) PreShade(c *core.Chunk) core.PreResult {
-	st := &ipv4State{
-		addrs: make([]packet.IPv4Addr, 0, len(c.Bufs)),
-		hops:  make([]uint16, len(c.Bufs)),
+	// Recycled chunks keep their State scratch; reinitialize it fully
+	// rather than allocating fresh slices per chunk.
+	st, ok := c.State.(*ipv4State)
+	if !ok {
+		st = &ipv4State{}
+		c.State = st
 	}
-	c.State = st
+	st.addrs = st.addrs[:0]
+	st.hops = scratch(st.hops, len(c.Bufs))
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1

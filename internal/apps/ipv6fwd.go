@@ -34,12 +34,14 @@ func (a *IPv6Fwd) Kernel() *gpu.KernelSpec { return &gpu.KernelIPv6 }
 // 128-bit destinations (four times the copy volume of IPv4, §6.2.2).
 func (a *IPv6Fwd) PreShade(c *core.Chunk) core.PreResult {
 	n := len(c.Bufs)
-	st := &ipv6State{
-		his:  make([]uint64, n),
-		los:  make([]uint64, n),
-		hops: make([]uint16, n),
+	st, ok := c.State.(*ipv6State)
+	if !ok {
+		st = &ipv6State{}
+		c.State = st
 	}
-	c.State = st
+	st.his = scratch(st.his, n)
+	st.los = scratch(st.los, n)
+	st.hops = scratch(st.hops, n)
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1

@@ -1,0 +1,17 @@
+package apps
+
+// scratch resizes s to n elements, all zero, reusing the backing array
+// when it is large enough. Chunks recycled by the core free list keep
+// their State, so per-chunk app scratch reaches steady state with no
+// allocation.
+func scratch[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		s = s[:n]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+		return s
+	}
+	return make([]T, n)
+}

@@ -37,7 +37,11 @@ type Chunk struct {
 	OutPorts []int
 	// Worker identifies the owning worker (for the scatter step).
 	Worker int
-	// State carries app-specific batch arrays between the steps.
+	// State carries app-specific batch arrays between the steps. Chunks
+	// are recycled through the router's free list with State intact, so
+	// an App may reuse the arrays it finds there — but must reinitialize
+	// them completely in PreShade (stale values belong to an unrelated
+	// earlier chunk).
 	State any
 
 	// GPU transfer/work descriptors, filled by PreShade.
@@ -166,6 +170,10 @@ type Stats struct {
 	// CPU path after a stall (a subset of ChunksCPU).
 	GPUStalls      uint64
 	FallbackChunks uint64
+	// ChunkReuses counts chunks served from the free list rather than
+	// allocated — the pooled hot path's effectiveness, and a determinism
+	// probe: identical runs must recycle identically.
+	ChunkReuses uint64
 }
 
 // Router wires the engine, devices, workers and masters together.
@@ -181,6 +189,14 @@ type Router struct {
 	Stats    Stats
 	obs      *routerObs
 	injector *faults.Injector
+
+	// chunkFree is the router's Chunk free list (deterministic LIFO —
+	// sync.Pool would introduce scheduling-dependent reuse): the hot
+	// path recycles Chunk headers together with their Bufs/OutPorts
+	// backing arrays and the app's State scratch, so steady-state
+	// forwarding allocates nothing per chunk. Safe without locking:
+	// exactly one sim process runs at a time.
+	chunkFree []*Chunk
 
 	start sim.Time
 	// measurement baselines (set by ResetMeasurement to exclude warmup
@@ -238,6 +254,7 @@ func New(env *sim.Env, cfg Config, app App) *Router {
 				node:   n,
 				master: m,
 				outQ:   sim.NewQueue[*Chunk](env, model.OutputQueueDepth),
+				txBufs: make([][]*packet.Buf, len(r.Engine.Ports)),
 			}
 			r.workers = append(r.workers, w)
 		}
@@ -326,6 +343,33 @@ func (r *Router) DeliveredGbps() float64 {
 		return 0
 	}
 	return (r.Engine.DeliveredWire() - r.baseWire) / elapsed * 10e9 / 1e9
+}
+
+// getChunk returns a recycled Chunk (empty Bufs/OutPorts, previous
+// app State kept as scratch for the app to reuse) or a fresh one.
+func (r *Router) getChunk() *Chunk {
+	if n := len(r.chunkFree); n > 0 {
+		c := r.chunkFree[n-1]
+		r.chunkFree[n-1] = nil
+		r.chunkFree = r.chunkFree[:n-1]
+		r.Stats.ChunkReuses++
+		return c
+	}
+	return &Chunk{}
+}
+
+// putChunk recycles c after its packets have been transmitted or
+// dropped. Bufs and OutPorts are truncated (their backing arrays are the
+// point of the recycling); State is deliberately kept so the app can
+// reuse its per-chunk scratch arrays — every App must fully reinitialize
+// State in PreShade.
+func (r *Router) putChunk(c *Chunk) {
+	c.Bufs = c.Bufs[:0]
+	c.OutPorts = c.OutPorts[:0]
+	c.Worker = 0
+	c.Threads, c.InBytes, c.OutBytes, c.StreamBytes = 0, 0, 0, 0
+	c.enqueued, c.fetchedAt = 0, 0
+	r.chunkFree = append(r.chunkFree, c)
 }
 
 // InputGbps reports the throughput metric the IPsec experiment uses

@@ -35,6 +35,10 @@ type master struct {
 	// accumulates closed outage intervals.
 	outSince sim.Time
 	degraded sim.Duration
+
+	// gather is the reusable §5.4 gather buffer: the set of chunks in
+	// the current launch. Reset (not reallocated) every round.
+	gather []*Chunk
 }
 
 // heldOut reports whether workers should bypass the GPU right now.
@@ -44,13 +48,22 @@ func (m *master) run(p *sim.Proc) {
 	r := m.router
 	o := r.obs
 	track := o.masterTracks[m.node]
+	// fn is hoisted out of the loop (one closure for the master's
+	// lifetime, not one per launch); it runs the kernels over the
+	// current gather set.
+	fn := func() {
+		for _, c := range m.gather {
+			r.App.RunKernel(c)
+		}
+	}
 	for {
 		first := m.inQ.Get(p)
-		chunks := []*Chunk{first}
+		m.gather = append(m.gather[:0], first)
 		if r.Cfg.GatherMax > 1 {
 			// Gather (§5.4): take whatever else is already queued.
-			chunks = append(chunks, m.inQ.DrainUpTo(r.Cfg.GatherMax-1)...)
+			m.gather = m.inQ.DrainAppend(m.gather, r.Cfg.GatherMax-1)
 		}
+		chunks := m.gather
 		gathered := p.Now()
 		var threads, inB, outB, strB int
 		for _, c := range chunks {
@@ -61,11 +74,6 @@ func (m *master) run(p *sim.Proc) {
 			strB += c.StreamBytes
 		}
 		o.launchThreads.Observe(int64(threads))
-		fn := func() {
-			for _, c := range chunks {
-				r.App.RunKernel(c)
-			}
-		}
 		spec := r.App.Kernel()
 		if m.heldOut(p.Now()) {
 			// Chunks offloaded just before the stall was detected (or

@@ -21,6 +21,13 @@ type worker struct {
 	outQ   *sim.Queue[*Chunk] // results returned by the master
 
 	inflight int
+
+	// txBufs/txOrder are the reusable per-port grouping scratch for the
+	// scatter in finish (a per-chunk map would allocate on every chunk).
+	// txBufs is indexed by output port; txOrder lists the ports touched
+	// by the current chunk in first-appearance order.
+	txBufs  [][]*packet.Buf
+	txOrder []int
 }
 
 func (w *worker) maxInflight() int {
@@ -106,23 +113,30 @@ func (w *worker) run(p *sim.Proc) {
 // chunk takes whatever the first non-empty queue has, up to the cap —
 // "we do not intentionally wait for the fixed number of packets" (§5.3).
 func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
-	cap := w.router.Cfg.ChunkCap
+	max := w.router.Cfg.ChunkCap
+	c := w.router.getChunk()
 	for i := 0; i < len(w.ifaces); i++ {
 		f := w.ifaces[w.rr]
 		w.rr = (w.rr + 1) % len(w.ifaces)
-		bufs := f.FetchChunk(p, cap, nil)
+		bufs := f.FetchChunk(p, max, c.Bufs[:0])
 		if len(bufs) == 0 {
 			continue
 		}
-		c := &Chunk{
-			Bufs:      bufs,
-			OutPorts:  make([]int, len(bufs)),
-			Worker:    w.id,
-			fetchedAt: p.Now(),
+		c.Bufs = bufs
+		if n := len(bufs); n <= cap(c.OutPorts) {
+			c.OutPorts = c.OutPorts[:n]
+			for i := range c.OutPorts {
+				c.OutPorts[i] = 0
+			}
+		} else {
+			c.OutPorts = make([]int, n)
 		}
+		c.Worker = w.id
+		c.fetchedAt = p.Now()
 		w.router.Stats.Packets += uint64(len(bufs))
 		return c
 	}
+	w.router.putChunk(c)
 	return nil
 }
 
@@ -135,9 +149,10 @@ func (w *worker) finish(p *sim.Proc, c *Chunk) {
 	p.Sleep(cycles(w.router.App.PostShade(c)))
 	o.tr.SpanUntil(track, "post-shade", postStart, p.Now(),
 		obs.Arg{Key: "packets", Val: int64(len(c.Bufs))})
-	// Group by output port, preserving FIFO order within the chunk.
-	byPort := map[int][]*packet.Buf{}
-	var order []int
+	// Group by output port, preserving FIFO order within the chunk. The
+	// grouping scratch (txBufs indexed by port, txOrder listing touched
+	// ports) lives on the worker and is reused chunk after chunk.
+	order := w.txOrder[:0]
 	for i, b := range c.Bufs {
 		port := c.OutPorts[i]
 		if port < 0 || port >= len(w.router.Engine.Ports) {
@@ -145,26 +160,35 @@ func (w *worker) finish(p *sim.Proc, c *Chunk) {
 			b.Release()
 			continue
 		}
-		if _, ok := byPort[port]; !ok {
+		if len(w.txBufs[port]) == 0 {
 			order = append(order, port)
 		}
-		byPort[port] = append(byPort[port], b)
+		w.txBufs[port] = append(w.txBufs[port], b)
 	}
 	txStart := p.Now()
 	for _, port := range order {
+		bufs := w.txBufs[port]
 		if tx := w.router.Engine.Ports[port].Tx; !tx.CarrierUp() {
 			// Carrier down: pause TX to this port — the NIC drops and
 			// accounts the packets; the worker spends no send cycles on
 			// a dead link.
-			tx.Transmit(byPort[port])
-			continue
+			tx.Transmit(bufs)
+		} else {
+			w.router.Engine.Send(p, w.node, port, bufs)
 		}
-		w.router.Engine.Send(p, w.node, port, byPort[port])
+		// Clear the per-port bucket for reuse: drop the *Buf references
+		// so recycled packets aren't retained by the scratch.
+		for i := range bufs {
+			bufs[i] = nil
+		}
+		w.txBufs[port] = bufs[:0]
 	}
 	if len(order) > 0 {
 		o.tr.SpanUntil(track, "tx", txStart, p.Now())
 	}
+	w.txOrder = order
 	o.chunkLatency.ObserveDuration(sim.Duration(p.Now() - c.fetchedAt))
+	w.router.putChunk(c)
 }
 
 // waitAny blocks until any of the worker's queues can produce a packet,

@@ -76,6 +76,10 @@ func ioWorkerLoop(p *sim.Proc, e *pktio.Engine, cfg pktio.Config, wl ioWorkload,
 		outBase = ((node + 1) % cfg.Nodes) * portsPerNode
 	}
 	rr := 0
+	// Reusable batch buffers: Send/Transmit consume their argument
+	// synchronously, so one slice per worker serves every iteration.
+	bufs := make([]*packet.Buf, cfg.BatchCap)
+	var chunk []*packet.Buf
 	for p.Now() < sim.Time(window) {
 		switch wl {
 		case wlTxOnly:
@@ -87,7 +91,6 @@ func ioWorkerLoop(p *sim.Proc, e *pktio.Engine, cfg pktio.Config, wl ioWorkload,
 				p.Sleep(20 * sim.Microsecond)
 				continue
 			}
-			bufs := make([]*packet.Buf, cfg.BatchCap)
 			for i := range bufs {
 				bufs[i] = e.Pool.Get(pktSize)
 			}
@@ -97,7 +100,7 @@ func ioWorkerLoop(p *sim.Proc, e *pktio.Engine, cfg pktio.Config, wl ioWorkload,
 			for range ifaces {
 				f := ifaces[rr%len(ifaces)]
 				rr++
-				chunk := f.FetchChunk(p, cfg.BatchCap, nil)
+				chunk = f.FetchChunk(p, cfg.BatchCap, chunk[:0])
 				if len(chunk) == 0 {
 					continue
 				}
@@ -138,8 +141,9 @@ func Table3() *Result {
 	e.Ports[0].Rx[0].SetOffered(model.PortPacketRate(64), 64, nil)
 	iface := e.OpenIface(0, 0, 0)
 	env.Go("rx-drop", func(p *sim.Proc) {
+		var chunk []*packet.Buf
 		for p.Now() < sim.Time(10*sim.Millisecond) {
-			chunk := iface.FetchChunk(p, 64, nil)
+			chunk = iface.FetchChunk(p, 64, chunk[:0])
 			for _, b := range chunk {
 				b.Release()
 			}
@@ -200,10 +204,11 @@ func fig5OneCore(cfg pktio.Config, window sim.Duration) float64 {
 	}
 	ifaces := []*pktio.Iface{e.OpenIface(0, 0, 0), e.OpenIface(1, 0, 0)}
 	env.Go("worker", func(p *sim.Proc) {
+		var chunk []*packet.Buf // reused: Send consumes it synchronously
 		for p.Now() < sim.Time(window) {
 			progress := false
 			for i, f := range ifaces {
-				chunk := f.FetchChunk(p, cfg.BatchCap, nil)
+				chunk = f.FetchChunk(p, cfg.BatchCap, chunk[:0])
 				if len(chunk) == 0 {
 					continue
 				}
@@ -295,12 +300,13 @@ func numaBlindForward(cfg pktio.Config, window sim.Duration) float64 {
 			}
 			env.Go("worker", func(p *sim.Proc) {
 				rr := 0
+				var chunk []*packet.Buf // reused: Send consumes it synchronously
 				for p.Now() < sim.Time(window) {
 					progress := false
 					for range ifaces {
 						f := ifaces[rr%len(ifaces)]
 						rr++
-						chunk := f.FetchChunk(p, cfg.BatchCap, nil)
+						chunk = f.FetchChunk(p, cfg.BatchCap, chunk[:0])
 						if len(chunk) == 0 {
 							continue
 						}

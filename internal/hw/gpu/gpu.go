@@ -251,13 +251,6 @@ func (d *Device) LaunchStreams(p *sim.Proc, spec *KernelSpec, nStreams, threads,
 	return sim.Duration(p.Now() - start)
 }
 
-func maxTime(a, b sim.Time) sim.Time {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // ---------------------------------------------------------------------------
 // Kernel cost profiles for the paper's four applications.
 // ---------------------------------------------------------------------------

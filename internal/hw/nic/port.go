@@ -59,9 +59,11 @@ type RxQueue struct {
 	// only stalls when the in-flight DMA falls behind the prefetch
 	// pipeline depth (i.e. the IOH is the bottleneck). dmaBatches and
 	// dmaCompleted track batch completions for exact RX throughput
-	// accounting.
+	// accounting; the ring reuses one backing array for the lifetime of
+	// the queue (a plain slice re-sliced forward reallocates every
+	// refill).
 	dmaDone      sim.Time
-	dmaBatches   []rxDMABatch
+	dmaBatches   sim.Ring[rxDMABatch]
 	dmaCompleted uint64
 
 	// Stats are the per-queue counters of §4.4.
@@ -226,7 +228,7 @@ func (q *RxQueue) Fetch(p *sim.Proc, max int, out []*packet.Buf) []*packet.Buf {
 			q.dmaDone = t
 		}
 	}
-	q.dmaBatches = append(q.dmaBatches, rxDMABatch{done: q.dmaDone, pkts: uint64(n)})
+	q.dmaBatches.PushBack(rxDMABatch{done: q.dmaDone, pkts: uint64(n)})
 	return out
 }
 
@@ -237,12 +239,8 @@ type rxDMABatch struct {
 
 func (q *RxQueue) reapDMA() {
 	now := q.env.Now()
-	i := 0
-	for ; i < len(q.dmaBatches) && q.dmaBatches[i].done <= now; i++ {
-		q.dmaCompleted += q.dmaBatches[i].pkts
-	}
-	if i > 0 {
-		q.dmaBatches = q.dmaBatches[i:]
+	for q.dmaBatches.Len() > 0 && q.dmaBatches.Front().done <= now {
+		q.dmaCompleted += q.dmaBatches.PopFront().pkts
 	}
 }
 
@@ -326,8 +324,9 @@ type TxPort struct {
 	// completions tracks scheduled batches (completion time of the
 	// batch's last packet, cumulative wire time, descriptor count) so
 	// Delivered can report exactly the wire time finished by "now" and
-	// pending can track true ring occupancy.
-	completions   []completion
+	// pending can track true ring occupancy. A ring, so steady-state
+	// transmission reuses one backing array.
+	completions   sim.Ring[completion]
 	deliveredWire sim.Duration
 	// pending counts descriptors posted and not yet wire-completed.
 	pending int
@@ -408,7 +407,7 @@ func (t *TxPort) Transmit(bufs []*packet.Buf) {
 		b.Release()
 	}
 	if batchPkts > 0 {
-		t.completions = append(t.completions, completion{batchDone, batchWire, batchPkts})
+		t.completions.PushBack(completion{batchDone, batchWire, batchPkts})
 	}
 }
 
@@ -429,8 +428,8 @@ func (t *TxPort) TransmitBlocking(p *sim.Proc, bufs []*packet.Buf) {
 		return
 	}
 	t.reap()
-	for t.pending+len(bufs) > t.ringCap && len(t.completions) > 0 {
-		next := t.completions[0].done
+	for t.pending+len(bufs) > t.ringCap && t.completions.Len() > 0 {
+		next := t.completions.Front().done
 		if next <= p.Now() {
 			t.reap()
 			continue
@@ -444,13 +443,10 @@ func (t *TxPort) TransmitBlocking(p *sim.Proc, bufs []*packet.Buf) {
 // reap folds finished batches into the delivered tally.
 func (t *TxPort) reap() {
 	now := t.env.Now()
-	i := 0
-	for ; i < len(t.completions) && t.completions[i].done <= now; i++ {
-		t.deliveredWire += t.completions[i].wire
-		t.pending -= t.completions[i].pkts
-	}
-	if i > 0 {
-		t.completions = t.completions[i:]
+	for t.completions.Len() > 0 && t.completions.Front().done <= now {
+		c := t.completions.PopFront()
+		t.deliveredWire += c.wire
+		t.pending -= c.pkts
 	}
 }
 

@@ -91,9 +91,10 @@ type Engine struct {
 	Ports []*Port
 	Pool  *packet.BufPool
 
-	// skb is the legacy allocator (ModeSkb); arena sized generously.
-	// In ModeHuge the Pool plays the huge-buffer role: fixed 2048-byte
-	// cells recycled without per-packet allocation.
+	// skb is the legacy allocator (ModeSkb), created lazily on first
+	// use: ModeHuge engines never pay its 16MB arena. In ModeHuge the
+	// Pool plays the huge-buffer role: fixed 2048-byte cells recycled
+	// without per-packet allocation.
 	skb *mem.SkbAllocator
 
 	// breakdown accumulates RX cycles per functional bin (Table 3).
@@ -126,7 +127,6 @@ func New(env *sim.Env, cfg Config) *Engine {
 	for n := 0; n < cfg.Nodes; n++ {
 		e.IOHs = append(e.IOHs, pcie.NewIOH(env, n))
 	}
-	e.skb = mem.NewSkbAllocator(mem.NewArena(4096))
 	portsPerNode := cfg.Ports / cfg.Nodes
 	if portsPerNode == 0 {
 		portsPerNode = cfg.Ports
@@ -198,6 +198,9 @@ func (f *Iface) perPacketRxCycles(size int) float64 {
 		}
 	case ModeSkb:
 		// The full Table 3 stack, really performing the allocations.
+		if e.skb == nil {
+			e.skb = mem.NewSkbAllocator(mem.NewArena(4096))
+		}
 		if skb, err := e.skb.Alloc(size); err == nil {
 			e.skb.Free(skb)
 		}

@@ -7,10 +7,18 @@
 // as sim processes, so every throughput and latency number reported by the
 // benchmark harness is measured in virtual hardware time and is therefore
 // independent of the host machine's speed and of Go's garbage collector.
+//
+// The engine is built for an allocation-free steady state: events are
+// typed values (a process wakeup carries the *Proc directly; closures
+// exist only for true callbacks) stored in slab-like slices — a binary
+// heap for future events and a FIFO ring for same-instant wakeups — so
+// Sleep and queue hand-offs allocate nothing and same-instant wakeups
+// skip the heap entirely. Control transfers directly from the yielding
+// process to the next runnable one with a single channel operation; there
+// is no separate scheduler goroutine to bounce through.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -51,27 +59,70 @@ func (t Time) String() string {
 	return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
 }
 
+// event is one scheduled occurrence, stored by value. p != nil is a
+// typed process wakeup (Sleep, queue/signal hand-off): no closure is
+// built and nothing is allocated. fn is reserved for true scheduler
+// callbacks registered through At/After.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among simultaneous events
+	p   *Proc
 	fn  func()
 }
 
+// eventHeap is a binary min-heap over (at, seq), implemented directly on
+// the slice so events are moved by value within one reusable backing
+// array. (container/heap would box every event into an interface value,
+// one heap allocation per scheduled event.)
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the vacated slot: drop fn/Proc references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
 
 // Hooks receives simulation-level trace callbacks. Implementations must
 // not block or schedule events: hooks run synchronously inside resource
@@ -88,10 +139,18 @@ type Hooks interface {
 // Env is a simulation environment: a virtual clock plus an event queue.
 // The zero value is not usable; create one with NewEnv.
 type Env struct {
-	now     Time
+	now Time
+	// events holds future events; imm holds events scheduled at the
+	// current instant, which run in FIFO order without a heap round-trip.
+	// The split preserves the global (at, seq) execution order exactly:
+	// a heap event at time T was necessarily scheduled before the clock
+	// reached T (same-instant schedules go to imm), so its seq is smaller
+	// than that of every imm event, and next() runs it first.
 	events  eventHeap
+	imm     Ring[event]
 	seq     uint64
-	yieldCh chan struct{} // a running proc signals here when it blocks or ends
+	until   Time          // run horizon while running (0 = none)
+	mainCh  chan struct{} // returns control to the Run caller at termination
 	nProcs  int           // live (started, unfinished) processes
 	running bool
 
@@ -101,7 +160,7 @@ type Env struct {
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yieldCh: make(chan struct{})}
+	return &Env{mainCh: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -112,45 +171,113 @@ func (e *Env) Now() Time { return e.now }
 // single nil check.
 func (e *Env) SetHooks(h Hooks) { e.hooks = h }
 
+// schedule enqueues a typed event at absolute time at (clamped to now).
+func (e *Env) schedule(at Time, p *Proc, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := event{at: at, seq: e.seq, p: p, fn: fn}
+	if at == e.now {
+		e.imm.PushBack(ev)
+		return
+	}
+	e.events.push(ev)
+}
+
+// wake schedules a typed wakeup for p at absolute time at. This is the
+// allocation-free path used by Sleep, queues and signals.
+func (e *Env) wake(p *Proc, at Time) { e.schedule(at, p, nil) }
+
 // At schedules fn to run at absolute virtual time t (clamped to now).
 // fn runs in scheduler context and must not block; to perform blocking
 // work, have it wake a process instead.
-func (e *Env) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
-}
+func (e *Env) At(t Time, fn func()) { e.schedule(t, nil, fn) }
 
 // After schedules fn to run d from now.
-func (e *Env) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+func (e *Env) After(d Duration, fn func()) { e.schedule(e.now+Time(d), nil, fn) }
+
+// next pops the earliest pending event in exact (at, seq) order, or
+// reports termination (false) when the queue is empty or the next event
+// lies beyond the run horizon. imm events are always at the current
+// instant (time cannot advance past them), so they never exceed the
+// horizon; heap events at the current instant carry smaller seqs than
+// imm ones and run first.
+func (e *Env) next() (event, bool) {
+	heapNow := len(e.events) > 0 && e.events[0].at == e.now
+	if !heapNow && e.imm.Len() > 0 {
+		return e.imm.PopFront(), true
+	}
+	if len(e.events) == 0 {
+		return event{}, false
+	}
+	if e.until > 0 && e.events[0].at > e.until {
+		e.now = e.until
+		return event{}, false
+	}
+	return e.events.pop(), true
+}
 
 // Run executes events until the queue drains or the clock passes until
 // (until <= 0 means run to completion). It returns the time of the last
 // executed event. Processes still blocked on queues when the event queue
-// drains are simply abandoned (their goroutines are released).
+// drains are simply abandoned (their goroutines stay parked; a later Run
+// that reaches their wakeups resumes them).
 func (e *Env) Run(until Time) Time {
 	if e.running {
 		panic("sim: Env.Run re-entered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		if until > 0 && e.events.peek().at > until {
-			e.now = until
-			break
-		}
-		ev := e.events.popEvent()
-		e.now = ev.at
-		ev.fn()
-	}
+	e.until = until
+	e.drive(nil, false)
 	return e.now
 }
 
-// resumeProc hands control to p and waits until p blocks again or ends.
-// Must only be called from scheduler context (inside an event fn).
-func (e *Env) resumeProc(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.yieldCh
+// drive executes events in the calling goroutine until either the
+// calling process's own wakeup is reached (self != nil) or the run
+// terminates. It is the single scheduling primitive: the Run caller
+// (self == nil), yielding processes, and ending processes (ending true)
+// all drive the loop themselves, so control passes directly from one
+// process to the next with exactly one channel operation per context
+// switch — there is no scheduler goroutine to bounce through, and a
+// process whose own wakeup comes next resumes with no channel operation
+// at all.
+func (e *Env) drive(self *Proc, ending bool) {
+	for {
+		ev, ok := e.next()
+		if !ok {
+			// The run is over. The Run caller returns; anyone else hands
+			// the control token back to it first.
+			if self == nil {
+				return
+			}
+			e.mainCh <- struct{}{}
+			if !ending {
+				// Park until a later Run reaches our wakeup.
+				<-self.resume
+			}
+			return
+		}
+		e.now = ev.at
+		if ev.p == nil {
+			ev.fn() // scheduler-context callback
+			continue
+		}
+		if ev.p == self && !ending {
+			return // our own wakeup: resume user code directly
+		}
+		// Hand control to the woken process; then this goroutine parks
+		// (yield), exits (ending), or awaits termination (Run caller).
+		ev.p.resume <- struct{}{}
+		if ending {
+			return
+		}
+		if self == nil {
+			<-e.mainCh
+			return
+		}
+		<-self.resume
+		return
+	}
 }

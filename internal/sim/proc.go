@@ -2,8 +2,8 @@ package sim
 
 // Proc is a simulated process: a goroutine that advances virtual time by
 // sleeping and by blocking on queues, servers, and signals. Exactly one
-// process (or the scheduler) runs at any instant, so simulations are
-// deterministic and need no locking.
+// process (or the scheduler loop in Env.drive) runs at any instant, so
+// simulations are deterministic and need no locking.
 type Proc struct {
 	env    *Env
 	name   string
@@ -30,17 +30,19 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.done = true
 		e.nProcs--
-		e.yieldCh <- struct{}{} // return control to the scheduler
+		// This goroutine still holds the control token: keep driving the
+		// event loop until control is handed to the next runnable process
+		// (or the run terminates), then exit.
+		e.drive(p, true)
 	}()
-	e.At(e.now, func() { e.resumeProc(p) })
+	e.wake(p, e.now)
 	return p
 }
 
-// yield returns control to the scheduler and blocks until resumed.
-func (p *Proc) yield() {
-	p.env.yieldCh <- struct{}{}
-	<-p.resume
-}
+// yield returns control to the event loop and blocks until this
+// process's next wakeup. If that wakeup is the next event, the process
+// continues immediately — same goroutine, no channel operation.
+func (p *Proc) yield() { p.env.drive(p, false) }
 
 // Sleep advances the process by d of virtual time. Negative or zero
 // durations still yield (allowing same-instant events to interleave
@@ -50,7 +52,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	env := p.env
-	env.After(d, func() { env.resumeProc(p) })
+	env.wake(p, env.now+Time(d))
 	p.yield()
 }
 

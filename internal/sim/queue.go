@@ -4,12 +4,16 @@ package sim
 // the calling process while the queue is empty; Put blocks while it is
 // full. Waiters are released in FIFO order, keeping simulations
 // deterministic. A capacity of 0 means unbounded.
+//
+// Items and waiter lists live in ring buffers: steady-state operation
+// reuses one backing array per ring, and vacated slots are zeroed so a
+// drained queue of pointer elements (e.g. *Chunk) retains nothing.
 type Queue[T any] struct {
 	env     *Env
 	cap     int
-	items   []T
-	getters []*Proc
-	putters []*Proc
+	items   Ring[T]
+	getters Ring[*Proc]
+	putters Ring[*Proc]
 }
 
 // NewQueue creates a queue in env with the given capacity (0 = unbounded).
@@ -18,31 +22,36 @@ func NewQueue[T any](env *Env, capacity int) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
 
 // Cap returns the configured capacity (0 = unbounded).
 func (q *Queue[T]) Cap() int { return q.cap }
 
-func (q *Queue[T]) full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+func (q *Queue[T]) full() bool { return q.cap > 0 && q.items.Len() >= q.cap }
 
-// wake schedules proc to resume at the current instant.
-func (q *Queue[T]) wake(p *Proc) {
-	env := q.env
-	env.At(env.now, func() { env.resumeProc(p) })
+// wakeGetter releases the longest-waiting getter, if any, at the current
+// instant (a typed wakeup: no allocation, no heap round-trip).
+func (q *Queue[T]) wakeGetter() {
+	if q.getters.Len() > 0 {
+		q.env.wake(q.getters.PopFront(), q.env.now)
+	}
+}
+
+// wakePutter releases the longest-waiting putter, if any.
+func (q *Queue[T]) wakePutter() {
+	if q.putters.Len() > 0 {
+		q.env.wake(q.putters.PopFront(), q.env.now)
+	}
 }
 
 // Put appends v, blocking p while the queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
 	for q.full() {
-		q.putters = append(q.putters, p)
+		q.putters.PushBack(p)
 		p.yield()
 	}
-	q.items = append(q.items, v)
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		q.wake(g)
-	}
+	q.items.PushBack(v)
+	q.wakeGetter()
 }
 
 // TryPut appends v if there is room and reports whether it did. It never
@@ -51,64 +60,56 @@ func (q *Queue[T]) TryPut(v T) bool {
 	if q.full() {
 		return false
 	}
-	q.items = append(q.items, v)
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		q.wake(g)
-	}
+	q.items.PushBack(v)
+	q.wakeGetter()
 	return true
 }
 
 // Get removes and returns the head item, blocking p while the queue is
 // empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		q.getters = append(q.getters, p)
+	for q.items.Len() == 0 {
+		q.getters.PushBack(p)
 		p.yield()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
-		q.wake(w)
-	}
+	v := q.items.PopFront()
+	q.wakePutter()
 	return v
 }
 
 // TryGet removes and returns the head item without blocking. ok is false
 // if the queue is empty.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
-		q.wake(w)
-	}
+	v = q.items.PopFront()
+	q.wakePutter()
 	return v, true
+}
+
+// DrainAppend removes at most n items, appends them to dst, and returns
+// the extended slice, waking at most n blocked putters. Callers that
+// drain repeatedly (the master's gather step) pass a reused buffer so
+// the steady state allocates nothing.
+func (q *Queue[T]) DrainAppend(dst []T, n int) []T {
+	if n > q.items.Len() {
+		n = q.items.Len()
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, q.items.PopFront())
+		q.wakePutter()
+	}
+	return dst
 }
 
 // DrainUpTo removes and returns at most n items without blocking.
 func (q *Queue[T]) DrainUpTo(n int) []T {
-	if n > len(q.items) {
-		n = len(q.items)
+	if n > q.items.Len() {
+		n = q.items.Len()
 	}
 	if n == 0 {
 		return nil
 	}
-	out := make([]T, n)
-	copy(out, q.items[:n])
-	q.items = q.items[n:]
-	for n > 0 && len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
-		q.wake(w)
-		n--
-	}
-	return out
+	return q.DrainAppend(make([]T, 0, n), n)
 }

@@ -114,13 +114,13 @@ func (s *Signal) Wait(p *Proc) {
 	p.yield()
 }
 
-// Fire wakes every process currently waiting, in FIFO order.
+// Fire wakes every process currently waiting, in FIFO order (typed
+// wakeups: no closure per waiter).
 func (s *Signal) Fire() {
 	ws := s.waiters
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
 	for _, w := range ws {
-		w := w
-		s.env.At(s.env.now, func() { s.env.resumeProc(w) })
+		s.env.wake(w, s.env.now)
 	}
 }
 

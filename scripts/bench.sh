@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench.sh measures the simulator's host-side performance on the two key
+# benchmarks and records the trajectory in BENCH_PR4.json:
+#
+#   - BenchmarkFig5Batch:     the packet-I/O engine hot path (8 batch
+#                             points x 20 simulated ms of single-core
+#                             forwarding = 160e6 simulated ns per op)
+#   - BenchmarkRouterIPv4GPU: the full CPU+GPU router framework
+#                             (1 simulated ms per op = 1e6 sim ns)
+#
+# Each entry reports ns/op, B/op, allocs/op and sim_ns_per_wall_ns (how
+# many nanoseconds of virtual hardware time one nanosecond of host time
+# buys — the simulator's figure of merit). The "baseline" block is the
+# measurement recorded before the allocation-free engine rework and is
+# fixed; "results" is refreshed on every run.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 10x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+OUT="BENCH_PR4.json"
+
+echo "== go test -bench (benchtime=$BENCHTIME)"
+RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' \
+	-benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	# BenchmarkName  N  ns/op  B/op  allocs/op
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+	ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+	order[n++] = name
+}
+END {
+	# Simulated virtual time advanced per benchmark iteration, in ns.
+	sim["BenchmarkFig5Batch"]     = 160000000  # 8 batch points x 20 ms
+	sim["BenchmarkRouterIPv4GPU"] = 1000000    # 1 ms per op
+
+	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 258897045, \"bytes_per_op\": 174840096, \"allocs_per_op\": 1175131 }"
+	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 92094180, \"bytes_per_op\": 9809644, \"allocs_per_op\": 29558 }"
+
+	printf "{\n"
+	printf "  \"description\": \"host-side simulator performance; baseline = before the allocation-free engine rework\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"baseline\": {\n"
+	printf "    \"BenchmarkFig5Batch\": %s,\n", base["BenchmarkFig5Batch"]
+	printf "    \"BenchmarkRouterIPv4GPU\": %s\n", base["BenchmarkRouterIPv4GPU"]
+	printf "  },\n"
+	printf "  \"results\": {\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"sim_ns_per_op\": %d, \"sim_ns_per_wall_ns\": %.3f }%s\n", \
+			name, ns[name], bytes[name], allocs[name], sim[name], \
+			sim[name] / ns[name], (i < n-1) ? "," : ""
+	}
+	printf "  }\n"
+	printf "}\n"
+}' >"$OUT"
+
+echo "== wrote $OUT"
+cat "$OUT"

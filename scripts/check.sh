@@ -34,4 +34,7 @@ go test -count=1 -run 'TestFaultScenarioDeterministicAndShaped|TestFaultRunsDete
 echo "== go test -race (sim, core, cluster, pktio, faults)"
 go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
 
+echo "== bench smoke (one iteration of the key benchmarks)"
+go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' -benchtime 1x .
+
 echo "== all checks passed"
