@@ -6,9 +6,10 @@
 check:
 	./scripts/check.sh
 
-# bench refreshes BENCH_PR4.json: the two key benchmarks with -benchmem,
-# plus the simulated-ns-per-wall-ns figure of merit. Pass BENCHTIME to
-# trade precision for speed (default 10x).
+# bench refreshes BENCH_PR5.json: the two key benchmarks with -benchmem,
+# the simulated-ns-per-wall-ns figure of merit, and `psbench all` wall
+# time at -j 1 vs -j $(nproc). Pass BENCHTIME to trade precision for
+# speed (default 10x).
 bench:
 	./scripts/bench.sh $(BENCHTIME)
 
@@ -24,6 +25,7 @@ lint:
 
 race:
 	go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
+	go test -race -short ./internal/experiments
 
 # trace-demo produces a sample Perfetto trace plus a metrics dump from
 # the Figure 11a operating point (IPv4 CPU+GPU, 64B packets, full BGP

@@ -18,8 +18,11 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	// Pinned to one worker so the numbers stay an apples-to-apples
+	// measure of the engine hot path across PRs, independent of how many
+	// cores the bench host happens to have.
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Run(io.Discard, id); err != nil {
+		if err := experiments.NewRunner(1).Run(io.Discard, id); err != nil {
 			b.Fatal(err)
 		}
 	}

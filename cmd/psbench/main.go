@@ -3,46 +3,103 @@
 //
 // Usage:
 //
-//	psbench [experiment ...]
+//	psbench [flags] [experiment ...]
 //	psbench all
+//	psbench all -j 8
+//	psbench fig5 fig6 -j 4
 //	psbench -list
 //
 // Experiments: table1, launch, fig2, table3, fig5, fig6, numa,
 // fig11a-fig11d, fig12, ablation, cluster, fibupdate, faults.
+//
+// Each experiment point is an independent deterministic simulation, so
+// points run in parallel across -j workers; results are merged in job
+// order and the output is byte-identical to -j 1.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"packetshader/internal/experiments"
 )
 
-func main() {
-	list := flag.Bool("list", false, "list available experiments")
-	metrics := flag.Bool("metrics", false, "dump per-run metrics (counters, latency histograms, occupancy)")
-	flag.Parse()
-	if *metrics {
-		experiments.SetMetricsWriter(os.Stdout)
+const usage = `usage: psbench [flags] [experiment ...]
+
+  -j N       run up to N simulation jobs in parallel (default: GOMAXPROCS)
+  -list      list available experiments
+  -metrics   dump per-run metrics (counters, latency histograms, occupancy)
+
+With no experiments given, runs all of them. Output is byte-identical
+for any -j.`
+
+// parseArgs handles flags and positionals in any order ("psbench all
+// -j 8" must work; the stdlib flag package stops at the first
+// positional argument).
+func parseArgs(argv []string) (ids []string, jobs int, list, metrics bool, err error) {
+	jobs = runtime.GOMAXPROCS(0)
+	for i := 0; i < len(argv); i++ {
+		a := argv[i]
+		switch {
+		case a == "-h" || a == "--help" || a == "-help":
+			fmt.Println(usage)
+			os.Exit(0)
+		case a == "-list" || a == "--list":
+			list = true
+		case a == "-metrics" || a == "--metrics":
+			metrics = true
+		case a == "-j" || a == "--j":
+			i++
+			if i >= len(argv) {
+				return nil, 0, false, false, fmt.Errorf("-j requires an argument")
+			}
+			jobs, err = strconv.Atoi(argv[i])
+			if err != nil || jobs < 1 {
+				return nil, 0, false, false, fmt.Errorf("-j: invalid worker count %q", argv[i])
+			}
+		case strings.HasPrefix(a, "-j=") || strings.HasPrefix(a, "--j="):
+			v := a[strings.Index(a, "=")+1:]
+			jobs, err = strconv.Atoi(v)
+			if err != nil || jobs < 1 {
+				return nil, 0, false, false, fmt.Errorf("-j: invalid worker count %q", v)
+			}
+		case strings.HasPrefix(a, "-"):
+			return nil, 0, false, false, fmt.Errorf("unknown flag %s", a)
+		default:
+			ids = append(ids, a)
+		}
 	}
-	if *list {
+	return ids, jobs, list, metrics, nil
+}
+
+func main() {
+	ids, jobs, list, metrics, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, usage)
+		os.Exit(2)
+	}
+	if list {
 		for _, e := range experiments.Registry {
 			fmt.Println(e.ID)
 		}
 		return
 	}
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"all"}
+	if metrics {
+		experiments.SetMetricsWriter(os.Stdout)
 	}
-	for _, id := range args {
-		start := time.Now()
-		if err := experiments.Run(os.Stdout, id); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	if len(ids) == 0 {
+		ids = []string{"all"}
 	}
+	start := time.Now()
+	if err := experiments.NewRunner(jobs).Run(os.Stdout, ids...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %v, -j %d]\n",
+		strings.Join(ids, " "), time.Since(start).Round(time.Millisecond), jobs)
 }

@@ -11,8 +11,9 @@
 // The suite enforces the contract that makes every reproduced paper
 // number trustworthy: virtual time only (walltime), seeded RNG only
 // (seededrand), order-stable iteration in scheduling/output paths
-// (mapiter), non-blocking scheduler callbacks (schedblock), and
-// explicit time units (picounits). Findings can be suppressed line-wise
+// (mapiter), non-blocking scheduler callbacks (schedblock), explicit
+// time units (picounits), and no package-state writes from parallel
+// experiment jobs (sharedfixture). Findings can be suppressed line-wise
 // with `//pslint:ignore <analyzer> <reason>`.
 //
 // Only non-test sources are analyzed: _test.go files may use wall-clock
@@ -32,6 +33,7 @@ import (
 	"packetshader/internal/analysis/picounits"
 	"packetshader/internal/analysis/schedblock"
 	"packetshader/internal/analysis/seededrand"
+	"packetshader/internal/analysis/sharedfixture"
 	"packetshader/internal/analysis/walltime"
 )
 
@@ -41,6 +43,7 @@ var suite = []*analysis.Analyzer{
 	mapiter.Analyzer,
 	schedblock.Analyzer,
 	picounits.Analyzer,
+	sharedfixture.Analyzer,
 }
 
 func main() {

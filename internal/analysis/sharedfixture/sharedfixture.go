@@ -1,0 +1,225 @@
+// Package sharedfixture enforces the parallel harness's isolation
+// contract: an experiment pool job (a function passed to
+// experiments.MapPoints) must not write package-level state.
+//
+// Jobs from one experiment run concurrently with jobs from every other
+// experiment on the shared worker pool, and the harness's byte-identical
+// guarantee (`psbench all -j N` == `-j 1`) holds only because each job
+// is a pure function of its index plus read-only shared fixtures. A
+// write to a package-level variable from a job is a data race and an
+// order-dependence at once.
+//
+// The analyzer takes the function literal (or named function) passed to
+// a MapPoints call as a job root, follows same-package calls reachable
+// from it, and flags assignments and ++/-- whose target resolves to a
+// package-level variable. Function literals passed to (*sync.Once).Do
+// are exempt: that is exactly the sanctioned build-once pattern the
+// shared fixtures use. Writes through closures bound to local variables
+// are not followed (their bodies live outside the job literal); the
+// -race CI job backstops that gap.
+//
+// Suppress a provably-safe write with
+//
+//	//pslint:ignore sharedfixture <reason>
+package sharedfixture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"packetshader/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedfixture",
+	Doc:  "flag writes to package-level state from experiment pool jobs (fixtures are read-only after their sync.Once build)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index same-package function and method declarations so job
+	// reachability can follow direct calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	v := &visitor{
+		pass:     pass,
+		decls:    decls,
+		visited:  map[*types.Func]bool{},
+		reported: map[token.Pos]bool{},
+	}
+
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.IsTestFile(call.Pos()) || !isMapPoints(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		switch job := call.Args[len(call.Args)-1].(type) {
+		case *ast.FuncLit:
+			v.checkBody(job.Body)
+		case *ast.Ident:
+			if fn, ok := pass.TypesInfo.Uses[job].(*types.Func); ok {
+				v.checkFunc(fn)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+type visitor struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	visited  map[*types.Func]bool
+	reported map[token.Pos]bool
+}
+
+// checkBody walks one job-reachable body, flagging package-level writes
+// and following same-package callees.
+func (v *visitor) checkBody(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if node.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				v.flagRoot(lhs)
+			}
+		case *ast.IncDecStmt:
+			v.flagRoot(node.X)
+		case *ast.CallExpr:
+			if isOnceDo(v.pass, node) {
+				// The sanctioned fixture pattern: sync.Once runs the
+				// build exactly once, before any concurrent read.
+				return false
+			}
+			if fn := callee(v.pass, node); fn != nil {
+				v.checkFunc(fn)
+			}
+		}
+		return true
+	})
+}
+
+// checkFunc follows a call to a same-package function or method with a
+// declaration in this package, once.
+func (v *visitor) checkFunc(fn *types.Func) {
+	if fn.Pkg() != v.pass.Pkg || v.visited[fn] {
+		return
+	}
+	v.visited[fn] = true
+	if decl := v.decls[fn]; decl != nil && decl.Body != nil {
+		v.checkBody(decl.Body)
+	}
+}
+
+// flagRoot reports e's base object if it resolves to a package-level
+// variable. Index and field chains are peeled to their root
+// (tbl[i] = x and cfg.Size = x both mutate the package var); writes
+// through pointers or call results are unresolvable statically and
+// skipped.
+func (v *visitor) flagRoot(e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A qualified identifier (pkg.Var) is itself the root.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := v.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					v.report(x.Sel)
+					return
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			v.report(x)
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (v *visitor) report(id *ast.Ident) {
+	vr, ok := v.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || vr.IsField() || vr.Pkg() == nil || vr.Parent() != vr.Pkg().Scope() {
+		return
+	}
+	if v.reported[id.Pos()] {
+		return
+	}
+	v.reported[id.Pos()] = true
+	v.pass.Reportf(id.Pos(),
+		"experiment job writes package-level state %s; jobs must be self-contained (fixtures are read-only after their sync.Once build)",
+		vr.Name())
+}
+
+// isMapPoints reports whether call invokes a function named MapPoints
+// (possibly generic-instantiated, possibly package-qualified).
+func isMapPoints(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fun := call.Fun
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Name() == "MapPoints"
+}
+
+// isOnceDo reports whether call is (*sync.Once).Do.
+func isOnceDo(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "(*sync.Once).Do"
+}
+
+// callee resolves call's target to a *types.Func when it is a direct
+// call of a named function or method; nil for closures bound to
+// variables, interface methods, and built-ins.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.IndexExpr:
+		if base, ok := f.X.(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

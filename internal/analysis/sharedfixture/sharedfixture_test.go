@@ -1,0 +1,12 @@
+package sharedfixture_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/sharedfixture"
+)
+
+func TestSharedFixture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedfixture.Analyzer, "sharedfixture")
+}

@@ -1,0 +1,95 @@
+// Fixture for the sharedfixture analyzer: a miniature of the
+// experiments package's MapPoints job shape.
+package sharedfixture
+
+import "sync"
+
+type Ctx struct{}
+
+type Point struct{}
+
+func MapPoints[T any](c *Ctx, n int, fn func(i int, pt *Point) T) []T {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = fn(i, &Point{})
+	}
+	return out
+}
+
+var (
+	counter int
+	table   []int
+	config  = struct{ Size int }{}
+	cells   = map[int]int{}
+	once    sync.Once
+)
+
+// fixture is the sanctioned pattern: built exactly once under a
+// sync.Once, read-only afterwards.
+func fixture() []int {
+	once.Do(func() {
+		table = []int{1, 2, 3}
+	})
+	return table
+}
+
+// good jobs read fixtures and touch only their own stack.
+func good(c *Ctx) []int {
+	return MapPoints(c, 4, func(i int, _ *Point) int {
+		local := fixture()[0]
+		local++
+		shadow := counter // reading package state is fine
+		return local + shadow + i
+	})
+}
+
+// bad jobs write package-level state directly.
+func bad(c *Ctx) {
+	MapPoints(c, 4, func(i int, _ *Point) int {
+		counter++       // want `package-level state counter`
+		table = nil     // want `package-level state table`
+		config.Size = i // want `package-level state config`
+		cells[i] = i    // want `package-level state cells`
+		return i
+	})
+}
+
+// helper writes state and is reachable from a job passed by name.
+func helper(i int, _ *Point) int {
+	counter += i // want `package-level state counter`
+	return counter
+}
+
+func badByName(c *Ctx) []int {
+	return MapPoints(c, 2, helper)
+}
+
+// Transitive reachability: job literal -> viaCall -> deepWrite.
+func deepWrite() {
+	counter = 0 // want `package-level state counter`
+}
+
+func viaCall(i int) int {
+	deepWrite()
+	return i
+}
+
+func badTransitive(c *Ctx) []int {
+	return MapPoints(c, 2, func(i int, _ *Point) int {
+		return viaCall(i)
+	})
+}
+
+// Writes outside any pool job are not this analyzer's business.
+func outsideJob() {
+	counter = 42
+	table = append(table, counter)
+}
+
+// A deliberate, justified write can be suppressed line-wise.
+func suppressed(c *Ctx) {
+	MapPoints(c, 1, func(i int, _ *Point) int {
+		counter = i //pslint:ignore sharedfixture fixture exercises suppression
+		return i
+	})
+}

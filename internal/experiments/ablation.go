@@ -17,14 +17,15 @@ import (
 // the skb path, software prefetch, cache-line alignment + per-queue
 // counters, chunk pipelining, gather/scatter, concurrent copy and
 // execution, and opportunistic offloading (latency at light load).
-func Ablation() *Result {
+func Ablation() *Result { return runSolo(ablation) }
+
+func ablation(c *Ctx) *Result {
 	r := &Result{
 		ID:     "ablation",
 		Title:  "Design-choice ablations (IPv6 forwarding, 64B)",
 		Header: []string{"Configuration", "Gbps", "vs full"},
 	}
 	entries, tbl := IPv6Fixture()
-	src := &pktgen.UDP6Source{Size: 64, Seed: 31, Table: entries}
 
 	run := func(tweak func(*core.Config)) float64 {
 		env := sim.NewEnv()
@@ -35,27 +36,11 @@ func Ablation() *Result {
 		}
 		app := &apps.IPv6Fwd{Table: tbl, NumPorts: model.NumPorts}
 		router := core.New(env, cfg, app)
-		router.SetSource(src)
+		router.SetSource(&pktgen.UDP6Source{Size: 64, Seed: 31, Table: entries})
 		router.Start()
 		env.Run(sim.Time(4 * sim.Millisecond))
 		return router.DeliveredGbps()
 	}
-
-	full := run(nil)
-	add := func(name string, g float64) {
-		r.AddRow(name, fmt.Sprintf("%.1f", g), fmt.Sprintf("%+.0f%%", (g/full-1)*100))
-	}
-	add("full PacketShader (CPU+GPU)", full)
-	add("- gather/scatter (1 chunk/launch)", run(func(c *core.Config) { c.GatherMax = 1 }))
-	add("- chunk pipelining", run(func(c *core.Config) { c.Pipelining = false }))
-	add("+ concurrent copy & execution (4 streams)", run(func(c *core.Config) { c.Streams = 4 }))
-	add("- software prefetch", run(func(c *core.Config) { c.IO.Prefetch = false }))
-	add("- queue alignment & per-queue counters", run(func(c *core.Config) {
-		c.IO.AlignQueueData = false
-		c.IO.PerQueueCounters = false
-	}))
-	add("skb buffers instead of huge buffers", run(func(c *core.Config) { c.IO.Mode = pktio.ModeSkb }))
-	add("CPU-only", run(func(c *core.Config) { c.Mode = core.ModeCPUOnly }))
 
 	// Opportunistic offloading is a latency feature: measure mean RTT
 	// at light load with and without it.
@@ -71,12 +56,43 @@ func Ablation() *Result {
 		for _, p := range router.Engine.Ports {
 			p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) { sink.Observe(b, at) }
 		}
-		router.SetSource(src)
+		router.SetSource(&pktgen.UDP6Source{Size: 64, Seed: 31, Table: entries})
 		router.Start()
 		env.Run(sim.Time(6 * sim.Millisecond))
 		return sink.MeanMicros()
 	}
+
+	configs := []struct {
+		name  string
+		tweak func(*core.Config)
+	}{
+		{"full PacketShader (CPU+GPU)", nil},
+		{"- gather/scatter (1 chunk/launch)", func(c *core.Config) { c.GatherMax = 1 }},
+		{"- chunk pipelining", func(c *core.Config) { c.Pipelining = false }},
+		{"+ concurrent copy & execution (4 streams)", func(c *core.Config) { c.Streams = 4 }},
+		{"- software prefetch", func(c *core.Config) { c.IO.Prefetch = false }},
+		{"- queue alignment & per-queue counters", func(c *core.Config) {
+			c.IO.AlignQueueData = false
+			c.IO.PerQueueCounters = false
+		}},
+		{"skb buffers instead of huge buffers", func(c *core.Config) { c.IO.Mode = pktio.ModeSkb }},
+		{"CPU-only", func(c *core.Config) { c.Mode = core.ModeCPUOnly }},
+	}
+	// Jobs 0..len(configs)-1 are the throughput ablations; the final two
+	// are the opportunistic-offload latency runs (always-offload, then
+	// opportunistic).
+	vals := MapPoints(c, len(configs)+2, func(i int, _ *Point) float64 {
+		if i < len(configs) {
+			return run(configs[i].tweak)
+		}
+		return lat(i == len(configs)+1)
+	})
+	full := vals[0]
+	for i, cfg := range configs {
+		r.AddRow(cfg.name, fmt.Sprintf("%.1f", vals[i]),
+			fmt.Sprintf("%+.0f%%", (vals[i]/full-1)*100))
+	}
 	r.Note("latency at 2 Gbps offered: GPU always-offload %.0f us vs opportunistic %.0f us (§7)",
-		lat(false), lat(true))
+		vals[len(configs)], vals[len(configs)+1])
 	return r
 }

@@ -13,44 +13,56 @@ import (
 // (incast) traffic. Each box contributes 40 Gbps of external ports and
 // the single-box ≈40 Gbps forwarding budget measured in Figure 6;
 // internal mesh links are 10GbE.
-func Cluster() *Result {
+func Cluster() *Result { return runSolo(clusterScaling) }
+
+func clusterScaling(c *Ctx) *Result {
 	r := &Result{
 		ID:     "cluster",
 		Title:  "Horizontal scaling with VLB (§7): admissible aggregate Gbps",
 		Header: []string{"Nodes", "Matrix", "direct", "vlb", "direct-vlb", "hops(direct-vlb)"},
 	}
+	type spec struct {
+		nodes  int
+		matrix string
+	}
+	var specs []spec
 	for _, n := range []int{2, 4, 8, 16} {
+		for _, m := range []string{"uniform", "permutation", "incast"} {
+			specs = append(specs, spec{n, m})
+		}
+	}
+	rows := MapPoints(c, len(specs), func(i int, _ *Point) []string {
+		s := specs[i]
 		cfg := cluster.Config{
-			Nodes:              n,
+			Nodes:              s.nodes,
 			ExternalGbps:       40,
 			NodeForwardingGbps: 40,
 			InternalLinkGbps:   10,
 		}
-		type tc struct {
-			name string
-			m    cluster.Matrix
+		var m cluster.Matrix
+		switch s.matrix {
+		case "uniform":
+			m = cluster.Uniform(s.nodes, float64(s.nodes)*40)
+		case "permutation":
+			m = cluster.Permutation(s.nodes, 40)
+		default:
+			m = cluster.Incast(s.nodes, 40)
 		}
-		for _, c := range []tc{
-			{"uniform", cluster.Uniform(n, float64(n)*40)},
-			{"permutation", cluster.Permutation(n, 40)},
-			{"incast", cluster.Incast(n, 40)},
-		} {
-			row := []string{fmt.Sprintf("%d", n), c.name}
-			var hops float64
-			for _, scheme := range []cluster.Routing{cluster.Direct, cluster.VLB, cluster.DirectVLB} {
-				res, err := cluster.Evaluate(cfg, scheme, c.m)
-				if err != nil {
-					panic(err)
-				}
-				row = append(row, fmt.Sprintf("%.0f", res.ThroughputGbps))
-				if scheme == cluster.DirectVLB {
-					hops = res.MeanHops
-				}
+		row := []string{fmt.Sprintf("%d", s.nodes), s.matrix}
+		var hops float64
+		for _, scheme := range []cluster.Routing{cluster.Direct, cluster.VLB, cluster.DirectVLB} {
+			res, err := cluster.Evaluate(cfg, scheme, m)
+			if err != nil {
+				panic(err)
 			}
-			row = append(row, fmt.Sprintf("%.2f", hops))
-			r.Rows = append(r.Rows, row)
+			row = append(row, fmt.Sprintf("%.0f", res.ThroughputGbps))
+			if scheme == cluster.DirectVLB {
+				hops = res.MeanHops
+			}
 		}
-	}
+		return append(row, fmt.Sprintf("%.2f", hops))
+	})
+	r.Rows = append(r.Rows, rows...)
 	r.Note("one PacketShader box replaces RB4, RouteBricks' 4-machine cluster (§8)")
 	r.Note("VLB trades forwarding budget (≈3 hops) for guaranteed worst-case throughput")
 	return r

@@ -69,48 +69,46 @@ func (r *Result) Print(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Registry maps experiment IDs to their drivers, in paper order.
-var Registry = []struct {
+// registryEntry describes one experiment: its driver plus which shared
+// fixtures it reads, so a Runner can build those once up front before
+// fanning jobs out.
+type registryEntry struct {
 	ID  string
-	Run func() *Result
-}{
-	{"table1", Table1},
-	{"launch", LaunchLatency},
-	{"fig2", Fig2},
-	{"table3", Table3},
-	{"fig5", Fig5},
-	{"fig6", Fig6},
-	{"numa", NUMA},
-	{"fig11a", Fig11a},
-	{"fig11b", Fig11b},
-	{"fig11c", Fig11c},
-	{"fig11d", Fig11d},
-	{"fig12", Fig12},
-	{"ablation", Ablation},
-	{"cluster", Cluster},
-	{"fibupdate", FIBUpdate},
-	{"faults", FaultScenario},
+	Run func(*Ctx) *Result
+
+	// UsesBGP / UsesV6 mark experiments whose jobs read the shared
+	// BGPFixture / IPv6Fixture.
+	UsesBGP, UsesV6 bool
+}
+
+// Registry maps experiment IDs to their drivers, in paper order.
+var Registry = []registryEntry{
+	{ID: "table1", Run: table1},
+	{ID: "launch", Run: launchLatency},
+	{ID: "fig2", Run: fig2, UsesV6: true},
+	{ID: "table3", Run: table3},
+	{ID: "fig5", Run: fig5},
+	{ID: "fig6", Run: fig6},
+	{ID: "numa", Run: numa},
+	{ID: "fig11a", Run: fig11a, UsesBGP: true},
+	{ID: "fig11b", Run: fig11b, UsesV6: true},
+	{ID: "fig11c", Run: fig11c},
+	{ID: "fig11d", Run: fig11d},
+	{ID: "fig12", Run: fig12, UsesV6: true},
+	{ID: "ablation", Run: ablation, UsesV6: true},
+	{ID: "cluster", Run: clusterScaling},
+	{ID: "fibupdate", Run: fibUpdate, UsesBGP: true},
+	{ID: "faults", Run: faultScenario},
 }
 
 // Run executes the experiment with the given ID (or all of them for
-// "all"), printing to w. Unknown IDs return an error.
+// "all") on a default GOMAXPROCS-wide worker pool, printing to w.
+// Unknown IDs return an error. It is shorthand for NewRunner(0).Run.
 func Run(w io.Writer, id string) error {
-	if id == "all" {
-		for _, e := range Registry {
-			e.Run().Print(w)
-		}
-		return nil
-	}
-	for _, e := range Registry {
-		if e.ID == id {
-			e.Run().Print(w)
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown experiment %q (use one of: %s, or all)", id, ids())
+	return NewRunner(0).Run(w, id)
 }
 
-func ids() string {
+func allIDs() string {
 	var s []string
 	for _, e := range Registry {
 		s = append(s, e.ID)
@@ -120,7 +118,12 @@ func ids() string {
 
 // ---------------------------------------------------------------------------
 // Shared fixtures: the big routing tables are expensive to build, so
-// they are constructed once and shared across experiments.
+// they are constructed once (sync.Once) and shared across experiments.
+// After the build they are strictly read-only — concurrent jobs on the
+// worker pool look them up freely, and the sharedfixture pslint
+// analyzer flags any job that writes package-level state. A Runner
+// builds the fixtures its selected experiments declare up front, so
+// jobs never queue behind the Once mid-run.
 // ---------------------------------------------------------------------------
 
 var (

@@ -57,17 +57,9 @@ func cpuOnlyEnvelope() float64 {
 	return r.DeliveredGbps()
 }
 
-// FaultScenario reproduces the graceful-degradation curve: full CPU+GPU
-// throughput, GPU failure on both nodes at t₁, watchdog detection and
-// CPU-only plateau, repair at t₂, then recovery — all on the virtual
-// clock, byte-identical across runs.
-func FaultScenario() *Result {
-	res := &Result{
-		ID:     "faults",
-		Title:  "GPU outage degradation curve (IPv4, 64B, full load)",
-		Header: []string{"t_ms", "Gbps", "phase"},
-	}
-
+// faultCurve runs the outage scenario and appends the degradation-curve
+// rows and fault counters to res.
+func faultCurve(res *Result) {
 	env := sim.NewEnv()
 	plan := faults.NewPlan()
 	for n := 0; n < model.NumNodes; n++ {
@@ -102,6 +94,29 @@ func FaultScenario() *Result {
 	res.Note("stalls=%d fallback_chunks=%d carrier_drops=%d degraded=%.0fus",
 		r.Stats.GPUStalls, r.Stats.FallbackChunks, r.CarrierDrops(),
 		r.DegradedTime().Microseconds())
-	res.Note("CPU-only envelope (fault-free, same workload): %.2f Gbps", cpuOnlyEnvelope())
+}
+
+// FaultScenario reproduces the graceful-degradation curve: full CPU+GPU
+// throughput, GPU failure on both nodes at t₁, watchdog detection and
+// CPU-only plateau, repair at t₂, then recovery — all on the virtual
+// clock, byte-identical across runs.
+func FaultScenario() *Result { return runSolo(faultScenario) }
+
+func faultScenario(c *Ctx) *Result {
+	res := &Result{
+		ID:     "faults",
+		Title:  "GPU outage degradation curve (IPv4, 64B, full load)",
+		Header: []string{"t_ms", "Gbps", "phase"},
+	}
+	// Job 0 runs the outage curve (it owns res until the barrier); job 1
+	// runs the independent fault-free CPU-only envelope.
+	envelope := MapPoints(c, 2, func(i int, _ *Point) float64 {
+		if i == 0 {
+			faultCurve(res)
+			return 0
+		}
+		return cpuOnlyEnvelope()
+	})[1]
+	res.Note("CPU-only envelope (fault-free, same workload): %.2f Gbps", envelope)
 	return res
 }

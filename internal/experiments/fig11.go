@@ -23,15 +23,18 @@ const (
 )
 
 // runApp drives one router configuration at full offered load and
-// returns the router (after the window) for metric extraction.
-func runApp(mode core.Mode, pktSize int, offeredPerPort float64,
+// returns the router (after the window) for metric extraction. pt is
+// the enclosing job's output context; metrics dumps (when enabled) go
+// to its private buffer so parallel jobs never interleave.
+func runApp(pt *Point, mode core.Mode, pktSize int, offeredPerPort float64,
 	app core.App, src nic.FrameSource, tweak func(*core.Config)) *core.Router {
-	return runAppW(mode, pktSize, offeredPerPort, app, src, tweak, appWarmup, appWindow)
+	return runAppW(pt, mode, pktSize, offeredPerPort, app, src, tweak, appWarmup, appWindow)
 }
 
-func runAppW(mode core.Mode, pktSize int, offeredPerPort float64,
+func runAppW(pt *Point, mode core.Mode, pktSize int, offeredPerPort float64,
 	app core.App, src nic.FrameSource, tweak func(*core.Config),
 	warmup, window sim.Duration) *core.Router {
+	mw := pt.MetricsWriter()
 	env := sim.NewEnv()
 	cfg := core.DefaultConfig()
 	cfg.Mode = mode
@@ -43,7 +46,7 @@ func runAppW(mode core.Mode, pktSize int, offeredPerPort float64,
 	r := core.New(env, cfg, app)
 	var reg *obs.Registry
 	var sampler *obs.ServerSampler
-	if metricsW != nil {
+	if mw != nil {
 		reg = obs.NewRegistry()
 		sampler = obs.NewServerSampler(nil)
 		env.SetHooks(sampler)
@@ -53,72 +56,89 @@ func runAppW(mode core.Mode, pktSize int, offeredPerPort float64,
 	r.Start()
 	env.After(warmup, r.ResetMeasurement)
 	env.Run(sim.Time(warmup + window))
-	if metricsW != nil {
+	if mw != nil {
 		r.ObserveStats()
 		mode := "cpu"
 		if cfg.Mode == core.ModeGPU {
 			mode = "gpu"
 		}
-		fmt.Fprintf(metricsW, "--- metrics %s mode=%s size=%d offered=%g ---\n",
+		fmt.Fprintf(mw, "--- metrics %s mode=%s size=%d offered=%g ---\n",
 			app.Name(), mode, pktSize, offeredPerPort)
-		if err := reg.Dump(metricsW); err == nil {
-			err = sampler.WriteReport(metricsW, env.Now())
+		if err := reg.Dump(mw); err == nil {
+			err = sampler.WriteReport(mw, env.Now())
 		}
 	}
 	return r
 }
 
-// metricsW, when set via SetMetricsWriter, receives a per-run metrics
-// dump (registry + resource occupancy) from every application
-// experiment driven through runAppW.
+// metricsW, when set via SetMetricsWriter, receives the per-run metrics
+// dumps (registry + resource occupancy) from every application
+// experiment driven through runAppW, in deterministic job order.
 var metricsW io.Writer
 
 // SetMetricsWriter enables per-experiment metrics dumps to w (nil
-// disables them, the default).
+// disables them, the default). Call it before running experiments, from
+// one goroutine: the jobs buffer their dumps privately and the runner
+// flushes them here in job order.
 func SetMetricsWriter(w io.Writer) { metricsW = w }
 
 var fig11Sizes = []int{64, 128, 256, 512, 1024, 1514}
 
+// fig11Mode maps the job-index parity to the (CPU-only, CPU+GPU) column
+// pair every Figure 11 table shares.
+func fig11Mode(k int) core.Mode {
+	if k%2 == 1 {
+		return core.ModeGPU
+	}
+	return core.ModeCPUOnly
+}
+
 // Fig11a regenerates Figure 11(a): IPv4 forwarding throughput versus
 // packet size, CPU-only versus CPU+GPU, with the full BGP table.
-func Fig11a() *Result {
+func Fig11a() *Result { return runSolo(fig11a) }
+
+func fig11a(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig11a",
 		Title:  "IPv4 forwarding throughput (Gbps)",
 		Header: []string{"Packet size", "CPU-only", "CPU+GPU"},
 	}
 	entries, tbl := BGPFixture()
-	for _, size := range fig11Sizes {
+	vals := MapPoints(c, 2*len(fig11Sizes), func(k int, pt *Point) float64 {
+		size := fig11Sizes[k/2]
 		src := &pktgen.UDP4Source{Size: size, Seed: 11, Table: entries}
-		mk := func(mode core.Mode) float64 {
-			app := &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
-			return runApp(mode, size, 10, app, src, nil).DeliveredGbps()
-		}
+		app := &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
+		return runApp(pt, fig11Mode(k), size, 10, app, src, nil).DeliveredGbps()
+	})
+	for i, size := range fig11Sizes {
 		r.AddRow(fmt.Sprintf("%d", size),
-			fmt.Sprintf("%.1f", mk(core.ModeCPUOnly)),
-			fmt.Sprintf("%.1f", mk(core.ModeGPU)))
+			fmt.Sprintf("%.1f", vals[2*i]),
+			fmt.Sprintf("%.1f", vals[2*i+1]))
 	}
 	r.Note("paper: CPU+GPU ≈ 39 Gbps at 64B, ≈ 40 at larger sizes (I/O bound); CPU-only ≈ 28 at 64B")
 	return r
 }
 
 // Fig11b regenerates Figure 11(b): IPv6 forwarding versus packet size.
-func Fig11b() *Result {
+func Fig11b() *Result { return runSolo(fig11b) }
+
+func fig11b(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig11b",
 		Title:  "IPv6 forwarding throughput (Gbps)",
 		Header: []string{"Packet size", "CPU-only", "CPU+GPU"},
 	}
 	entries, tbl := IPv6Fixture()
-	for _, size := range fig11Sizes {
+	vals := MapPoints(c, 2*len(fig11Sizes), func(k int, pt *Point) float64 {
+		size := fig11Sizes[k/2]
 		src := &pktgen.UDP6Source{Size: size, Seed: 12, Table: entries}
-		mk := func(mode core.Mode) float64 {
-			app := &apps.IPv6Fwd{Table: tbl, NumPorts: model.NumPorts}
-			return runApp(mode, size, 10, app, src, nil).DeliveredGbps()
-		}
+		app := &apps.IPv6Fwd{Table: tbl, NumPorts: model.NumPorts}
+		return runApp(pt, fig11Mode(k), size, 10, app, src, nil).DeliveredGbps()
+	})
+	for i, size := range fig11Sizes {
 		r.AddRow(fmt.Sprintf("%d", size),
-			fmt.Sprintf("%.1f", mk(core.ModeCPUOnly)),
-			fmt.Sprintf("%.1f", mk(core.ModeGPU)))
+			fmt.Sprintf("%.1f", vals[2*i]),
+			fmt.Sprintf("%.1f", vals[2*i+1]))
 	}
 	r.Note("paper: CPU+GPU 38.2 Gbps at 64B; CPU-only far lower at small sizes (7 memory accesses per lookup)")
 	return r
@@ -207,35 +227,39 @@ func buildOFSwitch(s *ofSource, nPorts, wildcards int) *openflow.Switch {
 // Fig11c regenerates Figure 11(c): OpenFlow switch throughput with 64B
 // packets versus the number of exact-match flow entries (with 32
 // wildcard rules, 10% of traffic exact-missing), CPU-only vs CPU+GPU.
-func Fig11c() *Result {
+func Fig11c() *Result { return runSolo(fig11c) }
+
+func fig11c(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig11c",
 		Title:  "OpenFlow switch throughput, 64B packets (Gbps)",
 		Header: []string{"Exact entries", "Wildcard", "CPU-only", "CPU+GPU"},
 	}
+	type ofRow struct {
+		flows, wildcards, missEvery int
+		seed                        uint64
+	}
+	var specs []ofRow
 	for _, flows := range []int{1 << 10, 32 << 10, 128 << 10, 512 << 10, 1 << 20} {
-		src := &ofSource{size: 64, flowsPerPort: flows / model.NumPorts, seed: 77, missEvery: 10}
-		mk := func(mode core.Mode) float64 {
-			sw := buildOFSwitch(src, model.NumPorts, 32)
-			app := apps.NewOFSwitch(sw, model.NumPorts)
-			return runApp(mode, 64, 10, app, src, nil).DeliveredGbps()
-		}
-		r.AddRow(fmt.Sprintf("%d", flows), "32",
-			fmt.Sprintf("%.1f", mk(core.ModeCPUOnly)),
-			fmt.Sprintf("%.1f", mk(core.ModeGPU)))
+		specs = append(specs, ofRow{flows, 32, 10, 77})
 	}
 	// Wildcard-table sweep at 32K exact entries: the wildcard-offload
 	// benefit grows with the rule count.
 	for _, wc := range []int{64, 256} {
-		src := &ofSource{size: 64, flowsPerPort: (32 << 10) / model.NumPorts, seed: 78, missEvery: 4}
-		mk := func(mode core.Mode) float64 {
-			sw := buildOFSwitch(src, model.NumPorts, wc)
-			app := apps.NewOFSwitch(sw, model.NumPorts)
-			return runApp(mode, 64, 10, app, src, nil).DeliveredGbps()
-		}
-		r.AddRow("32768", fmt.Sprintf("%d", wc),
-			fmt.Sprintf("%.1f", mk(core.ModeCPUOnly)),
-			fmt.Sprintf("%.1f", mk(core.ModeGPU)))
+		specs = append(specs, ofRow{32 << 10, wc, 4, 78})
+	}
+	vals := MapPoints(c, 2*len(specs), func(k int, pt *Point) float64 {
+		s := specs[k/2]
+		src := &ofSource{size: 64, flowsPerPort: s.flows / model.NumPorts,
+			seed: s.seed, missEvery: s.missEvery}
+		sw := buildOFSwitch(src, model.NumPorts, s.wildcards)
+		app := apps.NewOFSwitch(sw, model.NumPorts)
+		return runApp(pt, fig11Mode(k), 64, 10, app, src, nil).DeliveredGbps()
+	})
+	for i, s := range specs {
+		r.AddRow(fmt.Sprintf("%d", s.flows), fmt.Sprintf("%d", s.wildcards),
+			fmt.Sprintf("%.1f", vals[2*i]),
+			fmt.Sprintf("%.1f", vals[2*i+1]))
 	}
 	r.Note("paper: CPU+GPU wins for all configurations; 32 Gbps at the NetFPGA-comparable 32K+32 setup (8 NetFPGAs' worth)")
 	return r
@@ -243,27 +267,30 @@ func Fig11c() *Result {
 
 // Fig11d regenerates Figure 11(d): IPsec gateway throughput versus
 // packet size (input throughput, since ESP grows packets).
-func Fig11d() *Result {
+func Fig11d() *Result { return runSolo(fig11d) }
+
+func fig11d(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig11d",
 		Title:  "IPsec gateway throughput, input Gbps",
 		Header: []string{"Packet size", "CPU-only", "CPU+GPU"},
 	}
-	for _, size := range fig11Sizes {
+	vals := MapPoints(c, 2*len(fig11Sizes), func(k int, pt *Point) float64 {
+		size := fig11Sizes[k/2]
 		src := &pktgen.UDP4Source{Size: size, Seed: 13}
-		mk := func(mode core.Mode) float64 {
-			app := apps.NewIPsecGW(model.NumPorts)
-			// §5.4: concurrent copy and execution is enabled selectively
-			// for IPsec (payload-heavy transfers overlap the kernel).
-			// ESP-grown packets take longer to fill the RX rings, so the
-			// IPsec runs use a longer warmup before measuring.
-			return runAppW(mode, size, 10, app, src, func(c *core.Config) {
-				c.Streams = 4
-			}, 20*sim.Millisecond, 10*sim.Millisecond).InputGbps()
-		}
+		app := apps.NewIPsecGW(model.NumPorts)
+		// §5.4: concurrent copy and execution is enabled selectively
+		// for IPsec (payload-heavy transfers overlap the kernel).
+		// ESP-grown packets take longer to fill the RX rings, so the
+		// IPsec runs use a longer warmup before measuring.
+		return runAppW(pt, fig11Mode(k), size, 10, app, src, func(c *core.Config) {
+			c.Streams = 4
+		}, 20*sim.Millisecond, 10*sim.Millisecond).InputGbps()
+	})
+	for i, size := range fig11Sizes {
 		r.AddRow(fmt.Sprintf("%d", size),
-			fmt.Sprintf("%.1f", mk(core.ModeCPUOnly)),
-			fmt.Sprintf("%.1f", mk(core.ModeGPU)))
+			fmt.Sprintf("%.1f", vals[2*i]),
+			fmt.Sprintf("%.1f", vals[2*i+1]))
 	}
 	r.Note("paper: CPU+GPU ≈ 3.5x CPU-only for all sizes; 10.2 Gbps at 64B, 20.0 at 1514B")
 	r.Note("concurrent copy & execution enabled (4 streams), as §5.4 prescribes for IPsec")

@@ -15,14 +15,15 @@ import (
 // forwarding (64B packets) versus the offered input traffic level, for
 // (i) CPU-only without batching, (ii) CPU-only with batching, and
 // (iii) CPU+GPU with batching and parallelization.
-func Fig12() *Result {
+func Fig12() *Result { return runSolo(fig12) }
+
+func fig12(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig12",
 		Title:  "Average round-trip latency, IPv6 forwarding 64B (us)",
 		Header: []string{"Offered Gbps", "CPU no-batch", "CPU batch", "CPU+GPU"},
 	}
 	entries, tbl := IPv6Fixture()
-	src := &pktgen.UDP6Source{Size: 64, Seed: 21, Table: entries}
 
 	measure := func(mode core.Mode, offered float64, tweak func(*core.Config)) float64 {
 		env := sim.NewEnv()
@@ -39,22 +40,34 @@ func Fig12() *Result {
 		for _, p := range router.Engine.Ports {
 			p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) { sink.Observe(b, at) }
 		}
+		src := &pktgen.UDP6Source{Size: 64, Seed: 21, Table: entries}
 		router.SetSource(src)
 		router.Start()
 		env.Run(sim.Time(6 * sim.Millisecond))
 		return sink.MeanMicros()
 	}
 
-	for _, offered := range []float64{1, 4, 8, 12, 16, 20, 24, 28} {
-		noBatch := measure(core.ModeCPUOnly, offered, func(c *core.Config) {
-			c.ChunkCap = 1
-			c.IO.BatchCap = 1
-		})
-		batch := measure(core.ModeCPUOnly, offered, nil)
-		gpu := measure(core.ModeGPU, offered, nil)
+	offeredLevels := []float64{1, 4, 8, 12, 16, 20, 24, 28}
+	// One job per (offered load, variant) cell — three independent
+	// router worlds per row.
+	vals := MapPoints(c, 3*len(offeredLevels), func(k int, _ *Point) float64 {
+		offered := offeredLevels[k/3]
+		switch k % 3 {
+		case 0:
+			return measure(core.ModeCPUOnly, offered, func(c *core.Config) {
+				c.ChunkCap = 1
+				c.IO.BatchCap = 1
+			})
+		case 1:
+			return measure(core.ModeCPUOnly, offered, nil)
+		default:
+			return measure(core.ModeGPU, offered, nil)
+		}
+	})
+	for i, offered := range offeredLevels {
 		r.AddRow(fmt.Sprintf("%.0f", offered),
-			fmt.Sprintf("%.0f", noBatch), fmt.Sprintf("%.0f", batch),
-			fmt.Sprintf("%.0f", gpu))
+			fmt.Sprintf("%.0f", vals[3*i]), fmt.Sprintf("%.0f", vals[3*i+1]),
+			fmt.Sprintf("%.0f", vals[3*i+2]))
 	}
 	r.Note("paper: batching LOWERS latency (less queueing); GPU adds overhead but stays 200-400 us")
 	r.Note("elevated latency at the lightest load comes from NIC interrupt moderation (§6.4)")

@@ -11,7 +11,9 @@ import (
 
 // Table1 regenerates the paper's Table 1: PCIe data transfer rate
 // between host and device memory over buffer sizes from 256B to 1MB.
-func Table1() *Result {
+func Table1() *Result { return runSolo(table1) }
+
+func table1(c *Ctx) *Result {
 	r := &Result{
 		ID:     "table1",
 		Title:  "Data transfer rate between host and device (MB/s)",
@@ -23,7 +25,9 @@ func Table1() *Result {
 		262144: {5142, 3242}, 1048576: {5577, 3394},
 	}
 	sizes := []int{256, 1024, 4096, 16384, 65536, 262144, 1048576}
-	for _, size := range sizes {
+	type rates struct{ h2d, d2h float64 }
+	pts := MapPoints(c, len(sizes), func(i int, _ *Point) rates {
+		size := sizes[i]
 		env := sim.NewEnv()
 		link := pcie.NewLink(env, pcie.NewIOH(env, 0), "gpu")
 		const reps = 100
@@ -44,8 +48,11 @@ func Table1() *Result {
 		rate := func(d sim.Duration) float64 {
 			return float64(size*reps) / d.Seconds() / 1e6
 		}
+		return rates{rate(h2d), rate(d2h)}
+	})
+	for i, size := range sizes {
 		r.AddRow(sizeLabel(size),
-			fmt.Sprintf("%.0f", rate(h2d)), fmt.Sprintf("%.0f", rate(d2h)),
+			fmt.Sprintf("%.0f", pts[i].h2d), fmt.Sprintf("%.0f", pts[i].d2h),
 			fmt.Sprintf("%.0f", paper[size][0]), fmt.Sprintf("%.0f", paper[size][1]))
 	}
 	r.Note("paper peaks: 5.6 GB/s h2d, 3.4 GB/s d2h; d2h is slower (dual-IOH, §3.2)")
@@ -65,7 +72,11 @@ func sizeLabel(size int) string {
 
 // LaunchLatency regenerates the §2.2 kernel-launch microbenchmark:
 // 3.8 µs for one thread, 4.1 µs for 4096 (only a 10% increase).
-func LaunchLatency() *Result {
+func LaunchLatency() *Result { return runSolo(launchLatency) }
+
+// launchLatency is pure closed-form model evaluation — no simulation —
+// so it runs inline rather than occupying a pool worker.
+func launchLatency(*Ctx) *Result {
 	r := &Result{
 		ID:     "launch",
 		Title:  "GPU kernel launch latency (§2.2)",
@@ -86,7 +97,9 @@ func LaunchLatency() *Result {
 // Fig2 regenerates Figure 2: IPv6 lookup throughput (no packet I/O) of
 // one X5550, two X5550s, and one GTX480 versus the number of packets
 // processed in a batch.
-func Fig2() *Result {
+func Fig2() *Result { return runSolo(fig2) }
+
+func fig2(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig2",
 		Title:  "IPv6 lookup throughput of X5550 and GTX480 (Mlookups/s)",
@@ -99,7 +112,9 @@ func Fig2() *Result {
 	cpu1 := 4 * model.CPUFreqHz / perLookup
 	cpu2 := 2 * cpu1
 
-	for _, batch := range []int{32, 64, 128, 256, 320, 512, 640, 1024, 2048, 4096, 16384, 65536} {
+	batches := []int{32, 64, 128, 256, 320, 512, 640, 1024, 2048, 4096, 16384, 65536}
+	gpuRates := MapPoints(c, len(batches), func(i int, _ *Point) float64 {
+		batch := batches[i]
 		env := sim.NewEnv()
 		dev := gpu.New(env, pcie.NewIOH(env, 0), 0)
 		reps := 8
@@ -118,10 +133,12 @@ func Fig2() *Result {
 			}
 		})
 		env.Run(0)
-		gpuRate := float64(batch*reps) / total.Seconds()
+		return float64(batch*reps) / total.Seconds()
+	})
+	for i, batch := range batches {
 		r.AddRow(fmt.Sprintf("%d", batch),
 			fmt.Sprintf("%.1f", cpu1/1e6), fmt.Sprintf("%.1f", cpu2/1e6),
-			fmt.Sprintf("%.1f", gpuRate/1e6))
+			fmt.Sprintf("%.1f", gpuRates[i]/1e6))
 	}
 	r.Note("paper: GPU passes one X5550 beyond ~320 packets, two beyond ~640; peak ≈ ten X5550s")
 	return r

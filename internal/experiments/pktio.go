@@ -127,34 +127,43 @@ func ioWorkerLoop(p *sim.Proc, e *pktio.Engine, cfg pktio.Config, wl ioWorkload,
 // Table3 regenerates the paper's Table 3: the CPU cycle breakdown of
 // receiving (and silently dropping) 64B packets through the unmodified
 // skb-based driver path.
-func Table3() *Result {
+func Table3() *Result { return runSolo(table3) }
+
+func table3(c *Ctx) *Result {
 	r := &Result{
 		ID:     "table3",
 		Title:  "CPU cycle breakdown in packet RX (skb path, 64B)",
 		Header: []string{"Functional bins", "Cycles", "Share", "paper"},
 	}
-	env := sim.NewEnv()
-	cfg := pktio.DefaultConfig()
-	cfg.Nodes, cfg.Ports, cfg.QueuesPerPort = 1, 1, 1
-	cfg.Mode = pktio.ModeSkb
-	e := pktio.New(env, cfg)
-	e.Ports[0].Rx[0].SetOffered(model.PortPacketRate(64), 64, nil)
-	iface := e.OpenIface(0, 0, 0)
-	env.Go("rx-drop", func(p *sim.Proc) {
-		var chunk []*packet.Buf
-		for p.Now() < sim.Time(10*sim.Millisecond) {
-			chunk = iface.FetchChunk(p, 64, chunk[:0])
-			for _, b := range chunk {
-				b.Release()
+	type out struct {
+		bd pktio.Breakdown
+		rx uint64
+	}
+	pt := MapPoints(c, 1, func(int, *Point) out {
+		env := sim.NewEnv()
+		cfg := pktio.DefaultConfig()
+		cfg.Nodes, cfg.Ports, cfg.QueuesPerPort = 1, 1, 1
+		cfg.Mode = pktio.ModeSkb
+		e := pktio.New(env, cfg)
+		e.Ports[0].Rx[0].SetOffered(model.PortPacketRate(64), 64, nil)
+		iface := e.OpenIface(0, 0, 0)
+		env.Go("rx-drop", func(p *sim.Proc) {
+			var chunk []*packet.Buf
+			for p.Now() < sim.Time(10*sim.Millisecond) {
+				chunk = iface.FetchChunk(p, 64, chunk[:0])
+				for _, b := range chunk {
+					b.Release()
+				}
+				if len(chunk) == 0 && !iface.Wait(p) {
+					return
+				}
 			}
-			if len(chunk) == 0 && !iface.Wait(p) {
-				return
-			}
-		}
-	})
-	env.Run(sim.Time(10 * sim.Millisecond))
-	bd := e.RxBreakdown()
-	rx, _, _, _ := e.AggregateStats()
+		})
+		env.Run(sim.Time(10 * sim.Millisecond))
+		rx, _, _, _ := e.AggregateStats()
+		return out{e.RxBreakdown(), rx}
+	})[0]
+	bd, rx := pt.bd, pt.rx
 	total := bd.Total()
 	row := func(name string, cycles float64, paper string) {
 		r.AddRow(name, fmt.Sprintf("%.0f", cycles/float64(rx)),
@@ -173,23 +182,25 @@ func Table3() *Result {
 
 // Fig5 regenerates Figure 5: single-core RX+TX forwarding throughput of
 // 64B packets over two 10GbE ports versus the batch size.
-func Fig5() *Result {
+func Fig5() *Result { return runSolo(fig5) }
+
+func fig5(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig5",
 		Title:  "Effect of batch processing (1 core, 2 ports, 64B)",
 		Header: []string{"Batch size", "Forwarding Gbps", "speedup"},
 	}
-	var base float64
-	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	gbps := MapPoints(c, len(batches), func(i int, _ *Point) float64 {
 		cfg := pktio.DefaultConfig()
 		cfg.Nodes, cfg.Ports, cfg.QueuesPerPort = 1, 2, 1
-		cfg.BatchCap = batch
-		g := fig5OneCore(cfg, 20*sim.Millisecond)
-		if batch == 1 {
-			base = g
-		}
-		r.AddRow(fmt.Sprintf("%d", batch), fmt.Sprintf("%.2f", g),
-			fmt.Sprintf("%.1fx", g/base))
+		cfg.BatchCap = batches[i]
+		return fig5OneCore(cfg, 20*sim.Millisecond)
+	})
+	base := gbps[0] // batch size 1
+	for i, batch := range batches {
+		r.AddRow(fmt.Sprintf("%d", batch), fmt.Sprintf("%.2f", gbps[i]),
+			fmt.Sprintf("%.1fx", gbps[i]/base))
 	}
 	r.Note("paper: 0.78 Gbps at batch 1, 10.5 at 64 (13.5x); gains stall past 32")
 	return r
@@ -227,23 +238,29 @@ func fig5OneCore(cfg pktio.Config, window sim.Duration) float64 {
 // Fig6 regenerates Figure 6: the packet I/O engine's RX-only, TX-only,
 // forwarding, and node-crossing forwarding throughput versus packet
 // size, on the full 8-core, 8-port machine.
-func Fig6() *Result {
+func Fig6() *Result { return runSolo(fig6) }
+
+func fig6(c *Ctx) *Result {
 	r := &Result{
 		ID:     "fig6",
 		Title:  "Performance of the packet I/O engine (Gbps)",
 		Header: []string{"Packet size", "RX", "TX", "Forward", "Node-crossing"},
 	}
-	cfg := pktio.DefaultConfig()
-	cfg.QueuesPerPort = model.CoresPerNode // 4 workers per node in §4.6
 	window := 30 * sim.Millisecond
-	for _, size := range []int{64, 128, 256, 512, 1024, 1514} {
-		rx := ioHarness(cfg, wlRxOnly, size, window)
-		tx := ioHarness(cfg, wlTxOnly, size, window)
-		fwd := ioHarness(cfg, wlForward, size, window)
-		cross := ioHarness(cfg, wlForwardCrossing, size, window)
+	sizes := []int{64, 128, 256, 512, 1024, 1514}
+	workloads := []ioWorkload{wlRxOnly, wlTxOnly, wlForward, wlForwardCrossing}
+	// One job per (packet size, workload) cell: each full-machine run is
+	// independent, so the whole table fans out.
+	vals := MapPoints(c, len(sizes)*len(workloads), func(k int, _ *Point) float64 {
+		cfg := pktio.DefaultConfig()
+		cfg.QueuesPerPort = model.CoresPerNode // 4 workers per node in §4.6
+		return ioHarness(cfg, workloads[k%len(workloads)], sizes[k/len(workloads)], window)
+	})
+	for i, size := range sizes {
+		row := vals[i*len(workloads) : (i+1)*len(workloads)]
 		r.AddRow(fmt.Sprintf("%d", size),
-			fmt.Sprintf("%.1f", rx), fmt.Sprintf("%.1f", tx),
-			fmt.Sprintf("%.1f", fwd), fmt.Sprintf("%.1f", cross))
+			fmt.Sprintf("%.1f", row[0]), fmt.Sprintf("%.1f", row[1]),
+			fmt.Sprintf("%.1f", row[2]), fmt.Sprintf("%.1f", row[3]))
 	}
 	r.Note("paper: TX 79.3-80.0, RX 53.1-59.9, forwarding > 40 for all sizes (41.1 at 64B)")
 	r.Note("node-crossing forwarding also stays above 40 Gbps")
@@ -252,24 +269,29 @@ func Fig6() *Result {
 
 // NUMA regenerates the §4.5 comparison: NUMA-aware versus NUMA-blind
 // packet I/O for 64B forwarding.
-func NUMA() *Result {
+func NUMA() *Result { return runSolo(numa) }
+
+func numa(c *Ctx) *Result {
 	r := &Result{
 		ID:     "numa",
 		Title:  "NUMA-aware vs NUMA-blind packet I/O (64B forwarding)",
 		Header: []string{"Placement", "Gbps"},
 	}
-	cfg := pktio.DefaultConfig()
-	cfg.QueuesPerPort = model.CoresPerNode
-	aware := ioHarness(cfg, wlForward, 64, 10*sim.Millisecond)
-
-	blind := cfg
-	blind.NUMAAware = false
-	// Blind placement: every worker serves a queue on every port, so
-	// each port needs one RSS queue per worker machine-wide.
-	blind.QueuesPerPort = model.CoresPerNode * cfg.Nodes
-	blindG := numaBlindForward(blind, 10*sim.Millisecond)
-	r.AddRow("NUMA-aware", fmt.Sprintf("%.1f", aware))
-	r.AddRow("NUMA-blind", fmt.Sprintf("%.1f", blindG))
+	vals := MapPoints(c, 2, func(i int, _ *Point) float64 {
+		cfg := pktio.DefaultConfig()
+		cfg.QueuesPerPort = model.CoresPerNode
+		if i == 0 {
+			return ioHarness(cfg, wlForward, 64, 10*sim.Millisecond)
+		}
+		blind := cfg
+		blind.NUMAAware = false
+		// Blind placement: every worker serves a queue on every port, so
+		// each port needs one RSS queue per worker machine-wide.
+		blind.QueuesPerPort = model.CoresPerNode * cfg.Nodes
+		return numaBlindForward(blind, 10*sim.Millisecond)
+	})
+	r.AddRow("NUMA-aware", fmt.Sprintf("%.1f", vals[0]))
+	r.AddRow("NUMA-blind", fmt.Sprintf("%.1f", vals[1]))
 	r.Note("paper: ~40 Gbps aware vs below 25 Gbps blind (≈60%% improvement)")
 	return r
 }

@@ -1,18 +1,22 @@
 #!/bin/sh
-# bench.sh measures the simulator's host-side performance on the two key
-# benchmarks and records the trajectory in BENCH_PR4.json:
+# bench.sh measures the simulator's host-side performance and records
+# the trajectory in BENCH_PR5.json:
 #
 #   - BenchmarkFig5Batch:     the packet-I/O engine hot path (8 batch
 #                             points x 20 simulated ms of single-core
 #                             forwarding = 160e6 simulated ns per op)
 #   - BenchmarkRouterIPv4GPU: the full CPU+GPU router framework
 #                             (1 simulated ms per op = 1e6 sim ns)
+#   - psbench_all:            wall-clock seconds for `psbench all` at
+#                             -j 1 (serial) and -j $(nproc) (the PR 5
+#                             parallel experiment harness); the output
+#                             of both runs must be byte-identical
 #
-# Each entry reports ns/op, B/op, allocs/op and sim_ns_per_wall_ns (how
-# many nanoseconds of virtual hardware time one nanosecond of host time
-# buys — the simulator's figure of merit). The "baseline" block is the
-# measurement recorded before the allocation-free engine rework and is
-# fixed; "results" is refreshed on every run.
+# Go benchmarks run pinned to one worker (see bench_test.go) so ns/op,
+# B/op and allocs/op stay an apples-to-apples measure of the engine hot
+# path across PRs. The "baseline" block is the PR 4 measurement
+# (allocation-free engine) and is fixed; "results" is refreshed on
+# every run.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
 set -eu
@@ -20,14 +24,41 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
-OUT="BENCH_PR4.json"
+OUT="BENCH_PR5.json"
+NPROC=$(nproc 2>/dev/null || echo 1)
 
 echo "== go test -bench (benchtime=$BENCHTIME)"
 RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$RAW"
 
-printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+PSBENCH=$(mktemp /tmp/psbench.XXXXXX)
+trap 'rm -f "$PSBENCH" /tmp/psbench-j1.$$ /tmp/psbench-jN.$$' EXIT
+go build -o "$PSBENCH" ./cmd/psbench
+
+wall() { # wall <outfile> <psbench args...>: prints elapsed seconds
+	_out="$1"; shift
+	_t0=$(date +%s%N)
+	"$PSBENCH" "$@" >"$_out" 2>/dev/null
+	_t1=$(date +%s%N)
+	awk -v a="$_t0" -v b="$_t1" 'BEGIN { printf "%.1f", (b - a) / 1e9 }'
+}
+
+echo "== psbench all -j 1 (serial)"
+J1=$(wall /tmp/psbench-j1.$$ all -j 1)
+echo "   ${J1}s"
+echo "== psbench all -j $NPROC (parallel harness)"
+JN=$(wall /tmp/psbench-jN.$$ all -j "$NPROC")
+echo "   ${JN}s"
+
+if ! cmp -s /tmp/psbench-j1.$$ /tmp/psbench-jN.$$; then
+	echo "FATAL: psbench all output differs between -j 1 and -j $NPROC" >&2
+	exit 1
+fi
+echo "== psbench output byte-identical across -j 1 / -j $NPROC"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" \
+	-v j1="$J1" -v jn="$JN" -v nproc="$NPROC" '
 /^Benchmark/ {
 	# BenchmarkName  N  ns/op  B/op  allocs/op
 	name = $1
@@ -40,23 +71,26 @@ END {
 	sim["BenchmarkFig5Batch"]     = 160000000  # 8 batch points x 20 ms
 	sim["BenchmarkRouterIPv4GPU"] = 1000000    # 1 ms per op
 
-	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 258897045, \"bytes_per_op\": 174840096, \"allocs_per_op\": 1175131 }"
-	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 92094180, \"bytes_per_op\": 9809644, \"allocs_per_op\": 29558 }"
+	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 46552120, \"bytes_per_op\": 587555, \"allocs_per_op\": 1072 }"
+	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 77502333, \"bytes_per_op\": 1415149, \"allocs_per_op\": 2162 }"
 
 	printf "{\n"
-	printf "  \"description\": \"host-side simulator performance; baseline = before the allocation-free engine rework\",\n"
+	printf "  \"description\": \"host-side simulator performance; baseline = PR 4 (allocation-free engine, serial harness)\",\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"baseline\": {\n"
 	printf "    \"BenchmarkFig5Batch\": %s,\n", base["BenchmarkFig5Batch"]
-	printf "    \"BenchmarkRouterIPv4GPU\": %s\n", base["BenchmarkRouterIPv4GPU"]
+	printf "    \"BenchmarkRouterIPv4GPU\": %s,\n", base["BenchmarkRouterIPv4GPU"]
+	printf "    \"psbench_all\": { \"wall_seconds\": 70.0, \"jobs\": 1 }\n"
 	printf "  },\n"
 	printf "  \"results\": {\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
-		printf "    \"%s\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"sim_ns_per_op\": %d, \"sim_ns_per_wall_ns\": %.3f }%s\n", \
+		printf "    \"%s\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"sim_ns_per_op\": %d, \"sim_ns_per_wall_ns\": %.3f },\n", \
 			name, ns[name], bytes[name], allocs[name], sim[name], \
-			sim[name] / ns[name], (i < n-1) ? "," : ""
+			sim[name] / ns[name]
 	}
+	printf "    \"psbench_all\": { \"nproc\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true }\n", \
+		nproc, j1, jn
 	printf "  }\n"
 	printf "}\n"
 }' >"$OUT"

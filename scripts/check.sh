@@ -31,8 +31,14 @@ go test -count=1 -run 'TestObsOutputByteIdenticalAcrossRuns|TestObsSpansCoverGPU
 echo "== fault-scenario determinism (byte-identical across runs)"
 go test -count=1 -run 'TestFaultScenarioDeterministicAndShaped|TestFaultRunsDeterministic' ./internal/experiments ./internal/core
 
+echo "== parallel harness: -j 8 byte-identical to -j 1"
+go test -count=1 -run 'TestParallelOutputByteIdenticalToSerial|TestRunMultipleIDsMatchesConcatenation' ./internal/experiments
+
 echo "== go test -race (sim, core, cluster, pktio, faults)"
 go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
+
+echo "== go test -race -short (parallel experiment harness)"
+go test -race -short ./internal/experiments
 
 echo "== bench smoke (one iteration of the key benchmarks)"
 go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' -benchtime 1x .
