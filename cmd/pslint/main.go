@@ -1,29 +1,52 @@
 // Command pslint is the repository's determinism linter: a multichecker
 // that runs the internal/analysis suite over the given packages and
-// fails if any analyzer reports a diagnostic.
+// fails if any analyzer reports an unwaived diagnostic.
 //
 // Usage:
 //
 //	go run ./cmd/pslint ./...
 //	go run ./cmd/pslint -list
 //	go run ./cmd/pslint -only walltime,mapiter ./internal/experiments
+//	go run ./cmd/pslint -json -json-out pslint-report.json ./...
+//	go run ./cmd/pslint -report-stale pslint-report.json
 //
 // The suite enforces the contract that makes every reproduced paper
 // number trustworthy: virtual time only (walltime), seeded RNG only
 // (seededrand), order-stable iteration in scheduling/output paths
 // (mapiter), non-blocking scheduler callbacks (schedblock), explicit
-// time units (picounits), and no package-state writes from parallel
-// experiment jobs (sharedfixture). Findings can be suppressed line-wise
-// with `//pslint:ignore <analyzer> <reason>`.
+// time units (picounits), no package-state writes from parallel
+// experiment jobs (sharedfixture), and no unmediated state shared
+// between sim proc/callback roots (procshare). Findings can be
+// suppressed line-wise with `//pslint:ignore <analyzer> <reason>`, or
+// waived centrally in pslint-baseline.json at the module root — every
+// waiver carries a written reason, so the shared-state inventory is
+// burned down, not ignored.
+//
+// Cross-package analyzers (Analyzer.UsesFacts, currently procshare) are
+// driven over the full module-local dependency closure in `go list
+// -deps` order with one fact store per analyzer, so facts exported
+// while analyzing internal/sim or internal/hw are importable while
+// analyzing internal/core; diagnostics are only reported for the
+// packages the patterns matched.
+//
+// Output modes: plain file:line:col lines by default; -json emits a
+// machine-readable report on stdout; -json-out FILE writes the same
+// report to FILE alongside the plain lines; -github prints GitHub
+// Actions ::error annotations instead of plain lines. -report-stale
+// FILE is a separate mode that reads a previously written report and
+// fails if any baseline waiver matched nothing — CI runs it as its own
+// step so stale waivers surface distinctly from real findings.
 //
 // Only non-test sources are analyzed: _test.go files may use wall-clock
 // deadlines and ad-hoc randomness for test orchestration.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -31,6 +54,7 @@ import (
 	"packetshader/internal/analysis/load"
 	"packetshader/internal/analysis/mapiter"
 	"packetshader/internal/analysis/picounits"
+	"packetshader/internal/analysis/procshare"
 	"packetshader/internal/analysis/schedblock"
 	"packetshader/internal/analysis/seededrand"
 	"packetshader/internal/analysis/sharedfixture"
@@ -44,11 +68,52 @@ var suite = []*analysis.Analyzer{
 	schedblock.Analyzer,
 	picounits.Analyzer,
 	sharedfixture.Analyzer,
+	procshare.Analyzer,
+}
+
+// baselineName is the waiver file auto-loaded from the module root.
+const baselineName = "pslint-baseline.json"
+
+// A Finding is one diagnostic in the JSON report. File is relative to
+// the module root so reports are stable across checkouts.
+type Finding struct {
+	Analyzer     string `json:"analyzer"`
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Message      string `json:"message"`
+	Waived       bool   `json:"waived,omitempty"`
+	WaiverReason string `json:"waiver_reason,omitempty"`
+}
+
+// A Waiver is one baseline entry: findings from Analyzer whose
+// module-relative file equals File (empty matches any file) and whose
+// message contains Match are accepted, with Reason recording why that
+// is sound. Hits counts the findings it absorbed in this run; a waiver
+// with zero hits is stale and -report-stale fails on it.
+type Waiver struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file,omitempty"`
+	Match    string `json:"match"`
+	Reason   string `json:"reason"`
+	Hits     int    `json:"hits"`
+}
+
+// A Report is the -json / -json-out output.
+type Report struct {
+	Patterns []string  `json:"patterns"`
+	Findings []Finding `json:"findings"`
+	Waivers  []Waiver  `json:"waivers,omitempty"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonFlag := flag.Bool("json", false, "emit the report as JSON on stdout instead of plain lines")
+	jsonOut := flag.String("json-out", "", "also write the JSON report to `file`")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations instead of plain lines")
+	baseline := flag.String("baseline", "auto", "waiver `file` (auto = "+baselineName+" at the module root if present; none = disabled)")
+	reportStale := flag.String("report-stale", "", "read a previously written JSON `report` and fail on waivers with zero hits (no linting)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pslint [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the packetshader determinism linters over the given package\npatterns (default ./...).\n\nFlags:\n")
@@ -62,9 +127,12 @@ func main() {
 			if a.InternalOnly {
 				scope = "internal/ only"
 			}
-			fmt.Printf("%-12s %-16s %s\n", a.Name, "("+scope+")", a.Doc)
+			fmt.Printf("%-14s %-16s %s\n", a.Name, "("+scope+")", a.Doc)
 		}
 		return
+	}
+	if *reportStale != "" {
+		os.Exit(runReportStale(*reportStale))
 	}
 
 	analyzers := suite
@@ -96,55 +164,237 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	loader := load.NewLoader(".")
-	targets, err := loader.Load(patterns...)
+	moduleRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		os.Exit(2)
+	}
+	waivers, err := loadBaseline(*baseline, moduleRoot)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
 		os.Exit(2)
 	}
 
-	var diags []diagAt
-	for _, pkg := range targets {
-		for _, a := range analyzers {
-			if a.InternalOnly && !strings.Contains(pkg.PkgPath+"/", "/internal/") {
+	loader := load.NewLoader(".")
+	module, err := loader.LoadModule(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pkgs := module
+		if !a.UsesFacts {
+			pkgs = nil
+			for _, pkg := range module {
+				if !pkg.DepOnly {
+					pkgs = append(pkgs, pkg)
+				}
+			}
+		}
+		// One fact store per analyzer per load: facts exported while
+		// analyzing a dependency are importable downstream.
+		facts := analysis.NewFactStore()
+		for _, pkg := range pkgs {
+			internalOK := strings.Contains(pkg.PkgPath+"/", "/internal/")
+			if a.InternalOnly && !internalOK && !a.UsesFacts {
 				continue
 			}
 			pass := analysis.NewPass(a, loader.Fset, pkg.Syntax, pkg.Types, pkg.Info)
+			pass.Facts = facts
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "pslint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
 				os.Exit(2)
 			}
+			if pkg.DepOnly || (a.InternalOnly && !internalOK) {
+				continue // fact-only pass: diagnostics are not ours to report
+			}
 			for _, d := range pass.Diagnostics {
 				pos := loader.Fset.Position(d.Pos)
-				diags = append(diags, diagAt{pos.Filename, pos.Line, pos.Column, d})
+				file := pos.Filename
+				if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					File:     file,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.file != b.file {
-			return a.file < b.file
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.d.Analyzer < b.d.Analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	for _, d := range diags {
-		fmt.Printf("%s:%d:%d: %s [%s]\n", d.file, d.line, d.col, d.d.Message, d.d.Analyzer)
+
+	unwaived := 0
+	for i := range findings {
+		f := &findings[i]
+		for w := range waivers {
+			if waivers[w].matches(f) {
+				waivers[w].Hits++
+				f.Waived = true
+				f.WaiverReason = waivers[w].Reason
+				break
+			}
+		}
+		if !f.Waived {
+			unwaived++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pslint: %d finding(s)\n", len(diags))
+
+	report := Report{Patterns: patterns, Findings: findings, Waivers: waivers}
+	if report.Findings == nil {
+		report.Findings = []Finding{}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	switch {
+	case *jsonFlag:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&report)
+	case *github:
+		for _, f := range findings {
+			if f.Waived {
+				continue
+			}
+			// The annotation message must be single-line; findings are.
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	default:
+		for _, f := range findings {
+			if f.Waived {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+
+	waived := len(findings) - unwaived
+	for _, w := range waivers {
+		if w.Hits == 0 {
+			fmt.Fprintf(os.Stderr, "pslint: warning: stale waiver (no findings matched): %s\n", w.describe())
+		}
+	}
+	if unwaived > 0 {
+		fmt.Fprintf(os.Stderr, "pslint: %d finding(s)", unwaived)
+		if waived > 0 {
+			fmt.Fprintf(os.Stderr, ", %d waived by baseline", waived)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
 }
 
-type diagAt struct {
-	file      string
-	line, col int
-	d         analysis.Diagnostic
+// matches reports whether finding f is absorbed by waiver w.
+func (w *Waiver) matches(f *Finding) bool {
+	if w.Analyzer != f.Analyzer {
+		return false
+	}
+	if w.File != "" && w.File != f.File {
+		return false
+	}
+	return strings.Contains(f.Message, w.Match)
+}
+
+func (w *Waiver) describe() string {
+	file := w.File
+	if file == "" {
+		file = "*"
+	}
+	return fmt.Sprintf("{analyzer: %s, file: %s, match: %q}", w.Analyzer, file, w.Match)
+}
+
+// loadBaseline reads the waiver file per the -baseline flag: "none"
+// disables waivers, "auto" loads the module-root baseline when present,
+// anything else is an explicit path that must exist. Every waiver must
+// carry a non-empty reason.
+func loadBaseline(flagVal, moduleRoot string) ([]Waiver, error) {
+	path := flagVal
+	switch flagVal {
+	case "none":
+		return nil, nil
+	case "auto":
+		path = filepath.Join(moduleRoot, baselineName)
+		if _, err := os.Stat(path); err != nil {
+			return nil, nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	var b struct {
+		Waivers []Waiver `json:"waivers"`
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	for i, w := range b.Waivers {
+		if w.Analyzer == "" || w.Match == "" {
+			return nil, fmt.Errorf("baseline %s: waiver %d needs analyzer and match", path, i)
+		}
+		if strings.TrimSpace(w.Reason) == "" {
+			return nil, fmt.Errorf("baseline %s: waiver %d (%s) has no reason; every waiver must say why it is sound", path, i, w.Match)
+		}
+		b.Waivers[i].Hits = 0
+	}
+	return b.Waivers, nil
+}
+
+func writeReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runReportStale reads a report written with -json-out and fails if any
+// waiver matched nothing: a stale baseline entry means the debt it
+// documented is gone and the entry must be deleted, keeping the waiver
+// inventory honest. Runs as its own CI step so staleness is reported
+// distinctly from findings.
+func runReportStale(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: -report-stale: %v\n", err)
+		return 2
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: -report-stale %s: %v\n", path, err)
+		return 2
+	}
+	stale := 0
+	for _, w := range r.Waivers {
+		if w.Hits == 0 {
+			stale++
+			fmt.Printf("stale waiver (no findings matched; delete it from %s): %s\n", baselineName, w.describe())
+		}
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "pslint: %d stale waiver(s)\n", stale)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,176 @@
+// Package callgraph is the pslint suite's shared call-graph machinery:
+// an index from functions to their declarations across one or more
+// type-checked packages, static callee resolution for direct calls, and
+// a visited-once depth-first walker over every statement reachable from
+// a root function or function literal.
+//
+// It generalizes the ad-hoc same-package call follower that used to
+// live inside the sharedfixture analyzer: a Graph may hold several
+// packages (the analyzers' cross-package fact passes feed it dependency
+// packages loaded with full bodies), and the Walker's Visit/Follow
+// hooks let each analyzer prune sanctioned subtrees (sync.Once builds,
+// sim.Queue mediation) and restrict which call edges are followed.
+//
+// Resolution is purely static: direct calls of named functions and
+// methods, including generic instantiations. Calls through interface
+// methods, function-typed variables and fields are not resolvable and
+// are reported to Follow with a nil callee so analyzers can account for
+// the gap (the -race CI jobs backstop it at runtime).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Package couples one type-checked package with its syntax, the unit
+// the Graph indexes. Info must cover the given files.
+type Package struct {
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// A Graph indexes function declarations across a set of packages so
+// walks can follow direct calls from package to package.
+type Graph struct {
+	pkgs  map[*types.Package]*Package
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// New returns a Graph over the given packages.
+func New(pkgs ...*Package) *Graph {
+	g := &Graph{
+		pkgs:  make(map[*types.Package]*Package),
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, p := range pkgs {
+		g.Add(p)
+	}
+	return g
+}
+
+// Add indexes one more package's declarations.
+func (g *Graph) Add(p *Package) {
+	if p == nil || p.Types == nil {
+		return
+	}
+	g.pkgs[p.Types] = p
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+}
+
+// Decl returns the declaration of fn if fn belongs to an indexed
+// package, else nil.
+func (g *Graph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// PackageOf returns the indexed package declaring fn, or nil.
+func (g *Graph) PackageOf(fn *types.Func) *Package {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	return g.pkgs[fn.Pkg()]
+}
+
+// StaticCallee resolves call's target to a *types.Func when it is a
+// direct call of a named function or method (possibly a generic
+// instantiation). It returns nil for closures bound to variables,
+// interface methods, function-valued fields, and built-ins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// A Walker performs a visited-once depth-first traversal of every
+// function body reachable from one or more roots through direct calls.
+// The zero value is not usable; set Graph (and optionally Visit and
+// Follow) before calling Walk or WalkFunc. Visited state persists
+// across roots: each named function's body is walked at most once per
+// Walker, so flag-style analyzers dedupe work for free. Analyzers that
+// need per-root attribution create one Walker per root.
+type Walker struct {
+	Graph *Graph
+
+	// Visit is called for every node of every walked body, with the
+	// package and function (nil for a root function literal) the body
+	// belongs to, in ast.Inspect order. Returning false skips the
+	// node's children — calls inside a skipped subtree are neither
+	// visited nor followed, which is how analyzers prune sanctioned
+	// patterns such as (*sync.Once).Do builds.
+	Visit func(pkg *Package, fn *types.Func, n ast.Node) bool
+
+	// Follow, if non-nil, gates call edges: it receives each call
+	// expression the walk encounters together with its statically
+	// resolved callee (nil when unresolvable) and reports whether to
+	// descend into the callee's body. When Follow is nil every
+	// resolvable callee with an indexed declaration is followed.
+	Follow func(pkg *Package, fn *types.Func, call *ast.CallExpr, callee *types.Func) bool
+
+	visited map[*types.Func]bool
+}
+
+// Walk traverses body, which belongs to fn (nil for a function literal)
+// inside pkg, then recursively the bodies of followed callees.
+func (w *Walker) Walk(pkg *Package, fn *types.Func, body ast.Node) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if w.Visit != nil && n != nil && !w.Visit(pkg, fn, n) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(pkg.Info, call)
+		if w.Follow != nil && !w.Follow(pkg, fn, call, callee) {
+			return true // keep inspecting the call's arguments
+		}
+		w.WalkFunc(callee)
+		return true
+	})
+}
+
+// WalkFunc traverses the body of fn if fn has an indexed declaration
+// and has not been walked by this Walker before.
+func (w *Walker) WalkFunc(fn *types.Func) {
+	if fn == nil || w.visited[fn] {
+		return
+	}
+	decl := w.Graph.Decl(fn)
+	pkg := w.Graph.PackageOf(fn)
+	if decl == nil || decl.Body == nil || pkg == nil {
+		return
+	}
+	if w.visited == nil {
+		w.visited = make(map[*types.Func]bool)
+	}
+	w.visited[fn] = true
+	w.Walk(pkg, fn, decl.Body)
+}

@@ -1,6 +1,11 @@
 package load
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestSmokeLoadAll(t *testing.T) {
 	root, err := ModuleRoot(".")
@@ -17,5 +22,178 @@ func TestSmokeLoadAll(t *testing.T) {
 		if p.Info == nil || p.Types == nil {
 			t.Errorf("%s missing types", p.PkgPath)
 		}
+	}
+}
+
+// TestLoadMultiplePatterns loads two separate patterns in one call and
+// checks both resolve to full target packages.
+func TestLoadMultiplePatterns(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root)
+	targets, err := l.Load("./internal/sim", "./internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]*Package{}
+	for _, p := range targets {
+		got[p.PkgPath] = p
+		if p.DepOnly {
+			t.Errorf("%s: target marked DepOnly", p.PkgPath)
+		}
+		if !p.full {
+			t.Errorf("%s: target loaded without bodies", p.PkgPath)
+		}
+		if len(p.Syntax) == 0 || p.Info == nil {
+			t.Errorf("%s: missing syntax or type info", p.PkgPath)
+		}
+	}
+	for _, want := range []string{"packetshader/internal/sim", "packetshader/internal/obs"} {
+		if got[want] == nil {
+			t.Errorf("pattern result missing %s (have %d targets)", want, len(targets))
+		}
+	}
+}
+
+// TestLoadModuleClosure checks the LoadModule contract cross-package
+// analyzers depend on: every module-local dependency is present with
+// full bodies, the listing is dependency-first (a package's module
+// imports always precede it), and only pattern matches are non-DepOnly.
+func TestLoadModuleClosure(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root)
+	module, err := l.LoadModule("./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	index := map[string]int{}
+	for i, p := range module {
+		index[p.PkgPath] = i
+	}
+	// core imports sim (the scheduler) and hw/nic at least; the module
+	// closure must carry both even though only core was requested.
+	for _, dep := range []string{"packetshader/internal/sim", "packetshader/internal/hw/nic"} {
+		i, ok := index[dep]
+		if !ok {
+			t.Fatalf("module closure of ./internal/core missing %s", dep)
+		}
+		p := module[i]
+		if !p.DepOnly {
+			t.Errorf("%s: dependency not marked DepOnly", dep)
+		}
+		if !p.full || len(p.Syntax) == 0 {
+			t.Errorf("%s: module-local dependency loaded without full bodies", dep)
+		}
+	}
+	if i, ok := index["packetshader/internal/core"]; !ok {
+		t.Fatal("module closure missing the target itself")
+	} else if module[i].DepOnly {
+		t.Error("packetshader/internal/core: target marked DepOnly")
+	}
+
+	// Dependency-first order: each package's module-local imports must
+	// appear earlier in the slice than the package itself.
+	for i, p := range module {
+		for _, imp := range p.Types.Imports() {
+			if j, ok := index[imp.Path()]; ok && j >= i {
+				t.Errorf("order violation: %s (index %d) imports %s (index %d)",
+					p.PkgPath, i, imp.Path(), j)
+			}
+		}
+	}
+
+	// Standard-library dependencies stay signatures-only and out of the
+	// module slice.
+	if fmtPkg := l.Lookup("fmt"); fmtPkg == nil {
+		t.Error("fmt not loaded as a dependency")
+	} else {
+		if fmtPkg.full {
+			t.Error("fmt: stdlib dependency loaded with full bodies")
+		}
+		if idx, ok := index["fmt"]; ok {
+			t.Errorf("fmt appears in module closure at index %d", idx)
+		}
+	}
+}
+
+// TestLoadCacheAndTargetPromotion loads a package first as a dependency,
+// then directly, and checks the cache is reused with DepOnly refreshed.
+func TestLoadCacheAndTargetPromotion(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root)
+	if _, err := l.Load("./internal/core"); err != nil {
+		t.Fatal(err)
+	}
+	dep := l.Lookup("packetshader/internal/sim")
+	if dep == nil {
+		t.Fatal("sim not loaded as a dependency of core")
+	}
+	if !dep.DepOnly {
+		t.Fatal("sim should be DepOnly after loading only core")
+	}
+	targets, err := l.Load("./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("got %d targets, want 1", len(targets))
+	}
+	if targets[0] != dep {
+		t.Error("second Load did not reuse the cached package")
+	}
+	if dep.DepOnly {
+		t.Error("DepOnly not cleared when the package became a target")
+	}
+}
+
+// TestTypeErrorPropagation builds a throwaway module whose single file
+// fails type-checking and verifies Load surfaces the error instead of
+// returning a half-checked package.
+func TestTypeErrorPropagation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"),
+		"package badmod\n\nfunc f() int { return undefinedIdent }\n")
+
+	l := NewLoader(dir)
+	_, err := l.Load("./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a type error")
+	}
+	if !strings.Contains(err.Error(), "typecheck badmod") ||
+		!strings.Contains(err.Error(), "undefinedIdent") {
+		t.Errorf("error does not name the failing package and identifier: %v", err)
+	}
+	if p := l.Lookup("badmod"); p != nil {
+		t.Error("failed package was cached")
+	}
+}
+
+// TestParseErrorPropagation does the same for a file that does not even
+// parse.
+func TestParseErrorPropagation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module badmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), "package badmod\n\nfunc f( {\n")
+
+	l := NewLoader(dir)
+	if _, err := l.Load("./..."); err == nil {
+		t.Fatal("Load succeeded on a module with a syntax error")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,19 @@
+package procshare_test
+
+import (
+	"testing"
+
+	"packetshader/internal/analysis/analysistest"
+	"packetshader/internal/analysis/procshare"
+)
+
+func TestProcshare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), procshare.Analyzer, "procshare")
+}
+
+// TestProcshareCrossPackage exercises the facts path: the fixture
+// imports fixture/procsharedep, whose FuncFact and RootsFact are
+// exported by the dependency's pass and imported by the fixture's.
+func TestProcshareCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), procshare.Analyzer, "procshare_xpkg")
+}

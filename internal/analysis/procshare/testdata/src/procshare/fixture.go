@@ -1,0 +1,162 @@
+// Fixture for the procshare analyzer: concurrency roots (Env.Go procs,
+// Env.At/After callbacks) sharing package vars, captured variables and
+// struct fields, plus the sanctioned exemptions (sim.Queue mediation,
+// sync.Once read-only-after-construction, per-instance loop captures,
+// //pslint:ignore directives).
+package procshare
+
+import (
+	"sync"
+
+	"packetshader/internal/sim"
+)
+
+// ---- package-level variable shared by two procs ----
+
+var hits int
+
+func startVarPair(env *sim.Env) {
+	env.Go("a", func(p *sim.Proc) {
+		hits++ // want `var fixture/procshare\.hits is written by proc "a" .* and read by proc "b"`
+	})
+	env.Go("b", func(p *sim.Proc) {
+		_ = hits
+	})
+}
+
+// ---- captured closure variable shared by two procs ----
+
+func startCapturePair(env *sim.Env) {
+	n := 0
+	env.Go("inc", func(p *sim.Proc) {
+		n++ // want `capture n \(fixture\.go:\d+\) is written by proc "inc" .* and written by proc "dec"`
+	})
+	env.Go("dec", func(p *sim.Proc) {
+		n--
+	})
+}
+
+// ---- proc paired with a scheduler callback ----
+
+func startCallback(env *sim.Env) {
+	var late int
+	env.Go("w", func(p *sim.Proc) {
+		late = 1 // want `capture late \(fixture\.go:\d+\) is written by proc "w" .* and read by callback "At"`
+	})
+	env.At(5, func() {
+		_ = late
+	})
+}
+
+// ---- loop-spawned proc: instances share outer capture, not loop-local ----
+
+func startWorkers(env *sim.Env) {
+	total := 0
+	for i := 0; i < 4; i++ {
+		i := i // per-instance: declared inside the loop, no self-report
+		env.Go("worker", func(p *sim.Proc) {
+			total += i // want `proc "worker" .* runs as multiple instances that all write capture total`
+		})
+	}
+}
+
+// ---- field of one object captured by two procs ----
+
+type counter struct{ n int }
+
+func startField(env *sim.Env) {
+	c := &counter{}
+	env.Go("fa", func(p *sim.Proc) {
+		c.n++ // want `field \(fixture/procshare\.counter\)\.n is written by proc "fa" .* and read by proc "fb"`
+	})
+	env.Go("fb", func(p *sim.Proc) {
+		_ = c.n
+	})
+}
+
+// ---- shared state reached transitively through a helper ----
+
+var logLines []string
+
+func appendLog(s string) { logLines = append(logLines, s) }
+
+func startLog(env *sim.Env) {
+	env.Go("logger1", func(p *sim.Proc) {
+		appendLog("x") // want `var fixture/procshare\.logLines is written by proc "logger1" .* and written by proc "logger2"`
+	})
+	env.Go("logger2", func(p *sim.Proc) {
+		appendLog("y")
+	})
+}
+
+// ---- method-value callback root ----
+
+type gauge struct{ v int }
+
+func (g *gauge) bump() { g.v++ }
+
+func startMethod(env *sim.Env) {
+	g := &gauge{}
+	env.After(3, g.bump) // want `field \(fixture/procshare\.gauge\)\.v is written by callback "After" .* and read by proc "reader"`
+	env.Go("reader", func(p *sim.Proc) {
+		_ = g.v
+	})
+}
+
+// ---- mediated by sim.Queue: the sanctioned channel, no findings ----
+
+func startQueue(env *sim.Env) {
+	q := sim.NewQueue[int](env, 8)
+	env.Go("prod", func(p *sim.Proc) {
+		q.Put(p, 1)
+	})
+	env.Go("cons", func(p *sim.Proc) {
+		_ = q.Get(p)
+	})
+}
+
+// ---- read-only after a sync.Once build: no findings ----
+
+var (
+	table     map[int]int
+	tableOnce sync.Once
+)
+
+func getTable() map[int]int {
+	tableOnce.Do(func() { table = map[int]int{1: 1} })
+	return table
+}
+
+func startOnce(env *sim.Env) {
+	env.Go("oa", func(p *sim.Proc) {
+		_ = getTable()
+	})
+	env.Go("ob", func(p *sim.Proc) {
+		_ = getTable()
+	})
+}
+
+// ---- waived line-wise with a reason: no findings ----
+
+var debugCount int
+
+func startIgnored(env *sim.Env) {
+	env.Go("da", func(p *sim.Proc) {
+		debugCount++ //pslint:ignore procshare debug-only counter, torn updates acceptable
+	})
+	env.Go("db", func(p *sim.Proc) {
+		_ = debugCount
+	})
+}
+
+// ---- named-function roots: accesses anchor at the spawn site ----
+
+var ticks int
+
+func tick(p *sim.Proc) { ticks++ }
+func tock(p *sim.Proc) { _ = ticks }
+
+func startNamed(env *sim.Env) {
+	env.Go("tick", tick) // want `var fixture/procshare\.ticks is written by proc "tick" .* and read by proc "tock"`
+	env.Go("tock", tock)
+}

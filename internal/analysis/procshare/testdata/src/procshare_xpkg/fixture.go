@@ -1,0 +1,19 @@
+// Cross-package fixture for procshare: calling a dependency package's
+// starter co-spawns its proc (known via FuncFact.Spawns) with a local
+// one, and the dependency's RootsFact supplies the foreign root's
+// accesses, so writing the dependency's package var from the local proc
+// pairs against the foreign logger.
+package procshare_xpkg
+
+import (
+	dep "fixture/procsharedep"
+
+	"packetshader/internal/sim"
+)
+
+func startAll(env *sim.Env) {
+	dep.StartLogger(env)
+	env.Go("writer", func(p *sim.Proc) {
+		dep.Total++ // want `var fixture/procsharedep\.Total is written by proc "writer" .* and written by proc "logger" \(fixture/procsharedep/dep\.go:\d+\)`
+	})
+}

@@ -1,0 +1,19 @@
+// Package procsharedep is a dependency fixture for the procshare
+// cross-package tests: it declares a proc root and exported shared
+// state, whose facts the fixture/procshare_xpkg package imports. Its
+// single root has no co-spawned peer inside this package, so it reports
+// nothing here — the pairing happens in the importing package.
+package procsharedep
+
+import "packetshader/internal/sim"
+
+// Total is deliberately unprotected shared state.
+var Total int
+
+// StartLogger spawns the logger proc; importers calling it co-spawn
+// the logger with their own roots.
+func StartLogger(env *sim.Env) {
+	env.Go("logger", func(p *sim.Proc) {
+		Total++
+	})
+}

@@ -10,13 +10,16 @@
 // order-dependence at once.
 //
 // The analyzer takes the function literal (or named function) passed to
-// a MapPoints call as a job root, follows same-package calls reachable
-// from it, and flags assignments and ++/-- whose target resolves to a
-// package-level variable. Function literals passed to (*sync.Once).Do
-// are exempt: that is exactly the sanctioned build-once pattern the
-// shared fixtures use. Writes through closures bound to local variables
-// are not followed (their bodies live outside the job literal); the
-// -race CI job backstops that gap.
+// a MapPoints call as a job root and walks the call graph reachable
+// from it with the shared internal/analysis/callgraph walker, flagging
+// assignments and ++/-- whose target resolves to a package-level
+// variable. The walk is restricted to same-package callees: a job's
+// writes through other packages' APIs are that package's own analyzers'
+// business. Function literals passed to (*sync.Once).Do are exempt:
+// that is exactly the sanctioned build-once pattern the shared fixtures
+// use. Writes through closures bound to local variables are not
+// followed (their bodies live outside the job literal); the -race CI
+// job backstops that gap.
 //
 // Suppress a provably-safe write with
 //
@@ -29,6 +32,7 @@ import (
 	"go/types"
 
 	"packetshader/internal/analysis"
+	"packetshader/internal/analysis/callgraph"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -38,24 +42,34 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	// Index same-package function and method declarations so job
-	// reachability can follow direct calls.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
+	pkg := &callgraph.Package{Types: pass.Pkg, Info: pass.TypesInfo, Files: pass.Files}
+	reported := map[token.Pos]bool{}
+
+	w := &callgraph.Walker{
+		Graph: callgraph.New(pkg),
+		Visit: func(_ *callgraph.Package, _ *types.Func, n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				if node.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range node.Lhs {
+					flagRoot(pass, reported, lhs)
+				}
+			case *ast.IncDecStmt:
+				flagRoot(pass, reported, node.X)
+			case *ast.CallExpr:
+				if isOnceDo(pass, node) {
+					// The sanctioned fixture pattern: sync.Once runs the
+					// build exactly once, before any concurrent read.
+					return false
 				}
 			}
-		}
-	}
-
-	v := &visitor{
-		pass:     pass,
-		decls:    decls,
-		visited:  map[*types.Func]bool{},
-		reported: map[token.Pos]bool{},
+			return true
+		},
+		Follow: func(_ *callgraph.Package, _ *types.Func, _ *ast.CallExpr, callee *types.Func) bool {
+			return callee != nil && callee.Pkg() == pass.Pkg
+		},
 	}
 
 	pass.Inspect(func(n ast.Node) bool {
@@ -65,10 +79,10 @@ func run(pass *analysis.Pass) error {
 		}
 		switch job := call.Args[len(call.Args)-1].(type) {
 		case *ast.FuncLit:
-			v.checkBody(job.Body)
+			w.Walk(pkg, nil, job.Body)
 		case *ast.Ident:
-			if fn, ok := pass.TypesInfo.Uses[job].(*types.Func); ok {
-				v.checkFunc(fn)
+			if fn, ok := pass.TypesInfo.Uses[job].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				w.WalkFunc(fn)
 			}
 		}
 		return true
@@ -76,59 +90,12 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-type visitor struct {
-	pass     *analysis.Pass
-	decls    map[*types.Func]*ast.FuncDecl
-	visited  map[*types.Func]bool
-	reported map[token.Pos]bool
-}
-
-// checkBody walks one job-reachable body, flagging package-level writes
-// and following same-package callees.
-func (v *visitor) checkBody(body ast.Node) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.AssignStmt:
-			if node.Tok == token.DEFINE {
-				return true
-			}
-			for _, lhs := range node.Lhs {
-				v.flagRoot(lhs)
-			}
-		case *ast.IncDecStmt:
-			v.flagRoot(node.X)
-		case *ast.CallExpr:
-			if isOnceDo(v.pass, node) {
-				// The sanctioned fixture pattern: sync.Once runs the
-				// build exactly once, before any concurrent read.
-				return false
-			}
-			if fn := callee(v.pass, node); fn != nil {
-				v.checkFunc(fn)
-			}
-		}
-		return true
-	})
-}
-
-// checkFunc follows a call to a same-package function or method with a
-// declaration in this package, once.
-func (v *visitor) checkFunc(fn *types.Func) {
-	if fn.Pkg() != v.pass.Pkg || v.visited[fn] {
-		return
-	}
-	v.visited[fn] = true
-	if decl := v.decls[fn]; decl != nil && decl.Body != nil {
-		v.checkBody(decl.Body)
-	}
-}
-
 // flagRoot reports e's base object if it resolves to a package-level
 // variable. Index and field chains are peeled to their root
 // (tbl[i] = x and cfg.Size = x both mutate the package var); writes
 // through pointers or call results are unresolvable statically and
 // skipped.
-func (v *visitor) flagRoot(e ast.Expr) {
+func flagRoot(pass *analysis.Pass, reported map[token.Pos]bool, e ast.Expr) {
 	for {
 		switch x := e.(type) {
 		case *ast.ParenExpr:
@@ -138,14 +105,14 @@ func (v *visitor) flagRoot(e ast.Expr) {
 		case *ast.SelectorExpr:
 			// A qualified identifier (pkg.Var) is itself the root.
 			if id, ok := x.X.(*ast.Ident); ok {
-				if _, isPkg := v.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
-					v.report(x.Sel)
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					report(pass, reported, x.Sel)
 					return
 				}
 			}
 			e = x.X
 		case *ast.Ident:
-			v.report(x)
+			report(pass, reported, x)
 			return
 		default:
 			return
@@ -153,16 +120,16 @@ func (v *visitor) flagRoot(e ast.Expr) {
 	}
 }
 
-func (v *visitor) report(id *ast.Ident) {
-	vr, ok := v.pass.TypesInfo.Uses[id].(*types.Var)
+func report(pass *analysis.Pass, reported map[token.Pos]bool, id *ast.Ident) {
+	vr, ok := pass.TypesInfo.Uses[id].(*types.Var)
 	if !ok || vr.IsField() || vr.Pkg() == nil || vr.Parent() != vr.Pkg().Scope() {
 		return
 	}
-	if v.reported[id.Pos()] {
+	if reported[id.Pos()] {
 		return
 	}
-	v.reported[id.Pos()] = true
-	v.pass.Reportf(id.Pos(),
+	reported[id.Pos()] = true
+	pass.Reportf(id.Pos(),
 		"experiment job writes package-level state %s; jobs must be self-contained (fixtures are read-only after their sync.Once build)",
 		vr.Name())
 }
@@ -170,24 +137,8 @@ func (v *visitor) report(id *ast.Ident) {
 // isMapPoints reports whether call invokes a function named MapPoints
 // (possibly generic-instantiated, possibly package-qualified).
 func isMapPoints(pass *analysis.Pass, call *ast.CallExpr) bool {
-	fun := call.Fun
-	switch f := fun.(type) {
-	case *ast.IndexExpr:
-		fun = f.X
-	case *ast.IndexListExpr:
-		fun = f.X
-	}
-	var id *ast.Ident
-	switch f := fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-	return ok && fn.Name() == "MapPoints"
+	fn := callgraph.StaticCallee(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == "MapPoints"
 }
 
 // isOnceDo reports whether call is (*sync.Once).Do.
@@ -198,28 +149,4 @@ func isOnceDo(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	return ok && fn.FullName() == "(*sync.Once).Do"
-}
-
-// callee resolves call's target to a *types.Func when it is a direct
-// call of a named function or method; nil for closures bound to
-// variables, interface methods, and built-ins.
-func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch f := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	case *ast.IndexExpr:
-		if base, ok := f.X.(*ast.Ident); ok {
-			id = base
-		}
-	default:
-		return nil
-	}
-	if id == nil {
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
 }

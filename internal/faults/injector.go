@@ -56,6 +56,7 @@ func (in *Injector) Arm() {
 	now := in.env.Now()
 	for _, ev := range in.plan.Events() {
 		ev := ev
+		//pslint:ignore procshare plan events fire as scheduler callbacks at distinct armed timestamps, so deliveries never overlap; the Injected counter and trace appends are ordered by virtual time
 		in.env.At(now+sim.Time(ev.At), func() { in.deliver(ev) })
 	}
 }

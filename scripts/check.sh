@@ -13,14 +13,17 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== pslint (determinism contract)"
-go run ./cmd/pslint ./...
+# One invocation covers every package (./... includes internal/obs and
+# internal/faults); the JSON report then feeds the baseline staleness
+# check, which fails if pslint-baseline.json carries waivers that no
+# longer match anything.
+echo "== pslint (determinism contract, all packages)"
+PSLINT_REPORT="$(mktemp)"
+trap 'rm -f "$PSLINT_REPORT"' EXIT
+go run ./cmd/pslint -json-out "$PSLINT_REPORT" ./...
 
-echo "== pslint (observability layer)"
-go run ./cmd/pslint ./internal/obs
-
-echo "== pslint (fault injector)"
-go run ./cmd/pslint ./internal/faults
+echo "== pslint baseline staleness"
+go run ./cmd/pslint -report-stale "$PSLINT_REPORT"
 
 echo "== go test ./..."
 go test ./...
