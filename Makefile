@@ -6,10 +6,10 @@
 check:
 	./scripts/check.sh
 
-# bench refreshes BENCH_PR5.json: the two key benchmarks with -benchmem,
-# the simulated-ns-per-wall-ns figure of merit, and `psbench all` wall
-# time at -j 1 vs -j $(nproc). Pass BENCHTIME to trade precision for
-# speed (default 10x).
+# bench refreshes BENCH_PR7.json: the two key benchmarks with -benchmem,
+# the simulated-ns-per-wall-ns figure of merit, the fabric core-scaling
+# curve at -p 1/2/8, and `psbench all` wall time at -j 1 vs -j $(nproc).
+# Pass BENCHTIME to trade precision for speed (default 10x).
 bench:
 	./scripts/bench.sh $(BENCHTIME)
 

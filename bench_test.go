@@ -1,11 +1,14 @@
 package packetshader_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	"packetshader"
+	"packetshader/internal/cluster"
 	"packetshader/internal/experiments"
+	"packetshader/internal/sim"
 )
 
 // One benchmark per table/figure of the paper: each iteration regenerates
@@ -85,5 +88,38 @@ func BenchmarkRouterIPv4GPU(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inst.Run(1 * packetshader.Millisecond)
+	}
+}
+
+// BenchmarkFabricWorkers measures the conservative-parallel cluster
+// fabric (16 nodes, VLB, near-admissible load, 50 ms of virtual time)
+// at 1, 2 and 8 partition workers. The result bytes are identical for
+// every worker count — CI enforces that — so the ns/op spread is the
+// pure core-scaling curve of the windowed world scheduler. On a
+// single-core host the curve is flat; scripts/bench.sh records it with
+// the host's core count in BENCH_PR7.json either way.
+func BenchmarkFabricWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("p%d", workers), func(b *testing.B) {
+			cfg := cluster.FabricConfig{
+				Cluster: cluster.Config{
+					Nodes:              16,
+					ExternalGbps:       40,
+					NodeForwardingGbps: 40,
+					InternalLinkGbps:   10,
+				},
+				Scheme:      cluster.VLB,
+				Matrix:      cluster.Uniform(16, 200),
+				LinkLatency: 50 * sim.Microsecond,
+				Horizon:     50 * sim.Millisecond,
+				Seed:        7,
+				Workers:     workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.RunFabric(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

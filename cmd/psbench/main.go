@@ -10,11 +10,14 @@
 //	psbench -list
 //
 // Experiments: table1, launch, fig2, table3, fig5, fig6, numa,
-// fig11a-fig11d, fig12, ablation, cluster, fibupdate, faults.
+// fig11a-fig11d, fig12, ablation, cluster, fabric, fibupdate, faults.
 //
 // Each experiment point is an independent deterministic simulation, so
 // points run in parallel across -j workers; results are merged in job
-// order and the output is byte-identical to -j 1.
+// order and the output is byte-identical to -j 1. Within the fabric
+// experiment, -p additionally advances the world's per-node partitions
+// on N goroutines under conservative link lookahead; output is
+// byte-identical to -p 1.
 package main
 
 import (
@@ -31,17 +34,22 @@ import (
 const usage = `usage: psbench [flags] [experiment ...]
 
   -j N       run up to N simulation jobs in parallel (default: GOMAXPROCS)
+  -p N       advance partitioned worlds (fabric) on N goroutines (default: 1)
   -list      list available experiments
   -metrics   dump per-run metrics (counters, latency histograms, occupancy)
 
 With no experiments given, runs all of them. Output is byte-identical
-for any -j.`
+for any -j and any -p.`
 
 // parseArgs handles flags and positionals in any order ("psbench all
 // -j 8" must work; the stdlib flag package stops at the first
 // positional argument).
-func parseArgs(argv []string) (ids []string, jobs int, list, metrics bool, err error) {
+func parseArgs(argv []string) (ids []string, jobs, parts int, list, metrics bool, err error) {
 	jobs = runtime.GOMAXPROCS(0)
+	parts = 1
+	fail := func(format string, args ...any) ([]string, int, int, bool, bool, error) {
+		return nil, 0, 0, false, false, fmt.Errorf(format, args...)
+	}
 	for i := 0; i < len(argv); i++ {
 		a := argv[i]
 		switch {
@@ -55,29 +63,44 @@ func parseArgs(argv []string) (ids []string, jobs int, list, metrics bool, err e
 		case a == "-j" || a == "--j":
 			i++
 			if i >= len(argv) {
-				return nil, 0, false, false, fmt.Errorf("-j requires an argument")
+				return fail("-j requires an argument")
 			}
 			jobs, err = strconv.Atoi(argv[i])
 			if err != nil || jobs < 1 {
-				return nil, 0, false, false, fmt.Errorf("-j: invalid worker count %q", argv[i])
+				return fail("-j: invalid worker count %q", argv[i])
 			}
 		case strings.HasPrefix(a, "-j=") || strings.HasPrefix(a, "--j="):
 			v := a[strings.Index(a, "=")+1:]
 			jobs, err = strconv.Atoi(v)
 			if err != nil || jobs < 1 {
-				return nil, 0, false, false, fmt.Errorf("-j: invalid worker count %q", v)
+				return fail("-j: invalid worker count %q", v)
+			}
+		case a == "-p" || a == "--p":
+			i++
+			if i >= len(argv) {
+				return fail("-p requires an argument")
+			}
+			parts, err = strconv.Atoi(argv[i])
+			if err != nil || parts < 1 {
+				return fail("-p: invalid partition worker count %q", argv[i])
+			}
+		case strings.HasPrefix(a, "-p=") || strings.HasPrefix(a, "--p="):
+			v := a[strings.Index(a, "=")+1:]
+			parts, err = strconv.Atoi(v)
+			if err != nil || parts < 1 {
+				return fail("-p: invalid partition worker count %q", v)
 			}
 		case strings.HasPrefix(a, "-"):
-			return nil, 0, false, false, fmt.Errorf("unknown flag %s", a)
+			return fail("unknown flag %s", a)
 		default:
 			ids = append(ids, a)
 		}
 	}
-	return ids, jobs, list, metrics, nil
+	return ids, jobs, parts, list, metrics, nil
 }
 
 func main() {
-	ids, jobs, list, metrics, err := parseArgs(os.Args[1:])
+	ids, jobs, parts, list, metrics, err := parseArgs(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		fmt.Fprintln(os.Stderr, usage)
@@ -92,6 +115,7 @@ func main() {
 	if metrics {
 		experiments.SetMetricsWriter(os.Stdout)
 	}
+	experiments.SetPartitionWorkers(parts)
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
@@ -100,6 +124,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "[%s done in %v, -j %d]\n",
-		strings.Join(ids, " "), time.Since(start).Round(time.Millisecond), jobs)
+	fmt.Fprintf(os.Stderr, "[%s done in %v, -j %d -p %d]\n",
+		strings.Join(ids, " "), time.Since(start).Round(time.Millisecond), jobs, parts)
 }

@@ -39,7 +39,15 @@
 //     the engine's own bookkeeping (Sleep, Now) is the scheduler;
 //   - state built under (*sync.Once).Do and only read afterwards
 //     (read-only after construction);
-//   - state that no root writes (reads alone cannot race).
+//   - state that no root writes (reads alone cannot race);
+//   - fields of a queue element type: a type the package instantiates
+//     as a sim.Queue element (sim.NewQueue[T] or sim.NewQueue[*T]).
+//     Such values are hand-off objects: ownership transfers between
+//     procs through Put/Get, which are scheduler-visible lookahead
+//     boundaries, so accesses before a Put and after the matching Get
+//     are ordered by the queue operation itself. (Holding an alias
+//     across a Put would defeat this — that gap is backstopped by the
+//     -race jobs, like the other known gaps below.)
 //
 // Remaining findings are either fixed, suppressed line-wise with
 // `//pslint:ignore procshare <reason>`, or enumerated with a written
@@ -181,6 +189,10 @@ type analyzer struct {
 	cgpkg *callgraph.Package
 	funcs map[*types.Func]*funcInfo
 	roots []*rootRec
+	// queueElems holds owner names ("<pkgpath>.<Type>") of types this
+	// package instantiates as sim.Queue elements; their fields are
+	// queue-mediated hand-off state (see the package doc).
+	queueElems map[string]bool
 }
 
 func run(pass *analysis.Pass) error {
@@ -193,11 +205,19 @@ func run(pass *analysis.Pass) error {
 	}
 	cgpkg := &callgraph.Package{Types: pass.Pkg, Info: pass.TypesInfo, Files: pass.Files}
 	a := &analyzer{
-		pass:  pass,
-		graph: callgraph.New(cgpkg),
-		cgpkg: cgpkg,
-		funcs: map[*types.Func]*funcInfo{},
+		pass:       pass,
+		graph:      callgraph.New(cgpkg),
+		cgpkg:      cgpkg,
+		funcs:      map[*types.Func]*funcInfo{},
+		queueElems: map[string]bool{},
 	}
+
+	// Phase 0: collect queue element types. Instantiating sim.NewQueue[T]
+	// declares T a hand-off type whose ownership moves between procs
+	// through the queue, a sanctioned lookahead boundary; T's fields are
+	// then exempt from sharing reports in this package (and from its
+	// exported facts).
+	a.scanQueueElems()
 
 	// Phase 1: direct per-function info for every declaration.
 	for _, f := range pass.Files {
@@ -463,6 +483,49 @@ func isSpawn(fn *types.Func) bool {
 	return analysis.IsSimFunc(fn, "Go", "At", "After")
 }
 
+// scanQueueElems records the element types of every sim.NewQueue
+// instantiation in the package, keyed like field owners
+// ("<pkgpath>.<Type>", pointers peeled).
+func (a *analyzer) scanQueueElems() {
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := callgraph.StaticCallee(a.pass.TypesInfo, call)
+			if callee == nil || !analysis.IsSimFunc(callee, "NewQueue") {
+				return true
+			}
+			t := a.pass.TypesInfo.TypeOf(call) // *sim.Queue[T]
+			ptr, ok := t.(*types.Pointer)
+			if !ok {
+				return true
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok || named.TypeArgs().Len() != 1 {
+				return true
+			}
+			a.queueElems[ownerName(named.TypeArgs().At(0))] = true
+			return true
+		})
+	}
+}
+
+// queueMediated reports whether state is a field of a queue element
+// type recorded by scanQueueElems.
+func (a *analyzer) queueMediated(state string) bool {
+	if len(a.queueElems) == 0 || !strings.HasPrefix(state, "field (") {
+		return false
+	}
+	rest := strings.TrimPrefix(state, "field (")
+	i := strings.LastIndex(rest, ").")
+	if i < 0 {
+		return false
+	}
+	return a.queueElems[rest[:i]]
+}
+
 // siteID is the module-wide identity of a spawn site.
 func (a *analyzer) siteID(pos token.Pos) string {
 	p := a.pass.Fset.Position(pos)
@@ -689,6 +752,9 @@ func (a *analyzer) exportFacts() {
 			if strings.HasPrefix(k.state, "capture ") {
 				continue // meaningless outside the declaring package
 			}
+			if a.queueMediated(k.state) {
+				continue // hand-off state: mediated by the queue
+			}
 			ff.Accesses = append(ff.Accesses, Access{State: k.state, Write: k.write, ViaRecv: rec.viaRecv})
 		}
 		for id := range fi.spawns {
@@ -705,6 +771,9 @@ func (a *analyzer) exportFacts() {
 		rs := RootSummary{ID: r.id, Label: r.label, Plural: r.plural}
 		for k := range r.access {
 			if strings.HasPrefix(k.state, "capture ") {
+				continue
+			}
+			if a.queueMediated(k.state) {
 				continue
 			}
 			rs.Accesses = append(rs.Accesses, Access{State: k.state, Write: k.write})
@@ -907,6 +976,9 @@ func (a *analyzer) reportSelf(r *knownRoot, reported map[string]bool) {
 	}
 	var states []string
 	for s := range r.selfWrites {
+		if a.queueMediated(s) {
+			continue
+		}
 		states = append(states, s)
 	}
 	sort.Strings(states)
@@ -933,6 +1005,11 @@ func (a *analyzer) reportPair(ra, rb *knownRoot, origin token.Pos, reported map[
 	for s := range rb.writes {
 		if ra.writes[s] || ra.reads[s] {
 			states[s] = true
+		}
+	}
+	for s := range states {
+		if a.queueMediated(s) {
+			delete(states, s)
 		}
 	}
 	var sorted []string

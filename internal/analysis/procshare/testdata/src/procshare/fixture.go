@@ -115,6 +115,41 @@ func startQueue(env *sim.Env) {
 	})
 }
 
+// ---- queue element type: hand-off fields are queue-mediated ----
+
+// job travels between procs through a sim.Queue, so its fields are
+// hand-off state: ownership transfers at Put/Get, which are lookahead
+// boundaries. No findings, even though producer and consumer both write
+// the same field of the same instance.
+type job struct{ step int }
+
+func startHandOff(env *sim.Env) {
+	jobs := sim.NewQueue[*job](env, 4)
+	env.Go("maker", func(p *sim.Proc) {
+		j := &job{}
+		j.step = 1
+		jobs.Put(p, j)
+	})
+	env.Go("taker", func(p *sim.Proc) {
+		j := jobs.Get(p)
+		j.step = 2
+	})
+}
+
+// result is NOT a queue element anywhere in this package, so the same
+// shape still reports: the exemption is keyed to the element type.
+type result struct{ step int }
+
+func startNoHandOff(env *sim.Env) {
+	r := &result{}
+	env.Go("ra", func(p *sim.Proc) {
+		r.step = 1 // want `field \(fixture/procshare\.result\)\.step is written by proc "ra" .* and written by proc "rb"`
+	})
+	env.Go("rb", func(p *sim.Proc) {
+		r.step = 2
+	})
+}
+
 // ---- read-only after a sync.Once build: no findings ----
 
 var (

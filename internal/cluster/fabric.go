@@ -1,0 +1,317 @@
+// fabric.go grows the analytic mesh model into a small discrete-event
+// fabric of PacketShader boxes: one sim partition per node, connected by
+// latency-carrying sim.Links, advanced conservatively in parallel by
+// sim.World (ROADMAP item 1). Where Evaluate answers "what throughput is
+// admissible", the fabric *runs* the mesh — batches traverse ingress,
+// per-hop forwarding budgets, per-link serialization and propagation
+// latency — and reports what was actually delivered, with end-to-end
+// latency, under Direct or VLB routing. VLB intermediates come from a
+// real Toeplitz flow hash (the paper's RSS hash), not a modulo counter.
+package cluster
+
+import (
+	"fmt"
+
+	"packetshader/internal/hw/nic"
+	"packetshader/internal/sim"
+)
+
+// FabricConfig describes one fabric run.
+type FabricConfig struct {
+	// Cluster reuses the analytic capacities: Nodes, ExternalGbps,
+	// NodeForwardingGbps, InternalLinkGbps.
+	Cluster Config
+	// Scheme is Direct or VLB. (DirectVLB's spill decision needs global
+	// link-occupancy knowledge and is left to the analytic model.)
+	Scheme Routing
+	// Matrix is the offered load, Gbps entering node i destined to j.
+	Matrix Matrix
+	// LinkLatency is the propagation delay of every mesh link — the
+	// world's lookahead. Must be positive.
+	LinkLatency sim.Duration
+	// BatchBytes is the traffic granularity: one event-level unit of
+	// transfer (a chunk of packets), default 16 KiB.
+	BatchBytes int
+	// Horizon is the simulated duration.
+	Horizon sim.Duration
+	// Seed drives flow-key generation (and thus VLB intermediates).
+	Seed uint64
+	// Workers is the number of host goroutines advancing partitions
+	// (the psbench -p value); any value yields byte-identical results.
+	Workers int
+}
+
+// FabricResult is the merged outcome of a fabric run.
+type FabricResult struct {
+	OfferedGbps   float64
+	DeliveredGbps float64
+	// MeanHops counts forwarding operations per delivered batch
+	// (ingress node included), comparable to Result.MeanHops.
+	MeanHops float64
+	// MeanLatency/MaxLatency are end-to-end batch latencies
+	// (ingress emission to external egress).
+	MeanLatency, MaxLatency sim.Duration
+	Batches, Delivered      uint64
+	Forwards                uint64
+}
+
+// batch is the unit of simulated traffic: a fixed-size burst of packets
+// of one flow. Batches travel between nodes by value through sim.Links
+// and queues, so ownership hands off at scheduler-visible boundaries.
+type batch struct {
+	src, dst, via int
+	hops          uint32
+	bits          uint64
+	born          sim.Time
+	flowSrc       uint32 // flow key material for the Toeplitz hash
+	flowDst       uint32
+}
+
+// fabricNode is one PacketShader box, modeled as a pipeline of
+// processes so its three budgets serialize independently (a single
+// proc doing fwd+tx+ext back-to-back would collapse the node to the
+// harmonic mean of the three rates):
+//
+//	inbox → forward (NodeForwardingGbps) → txQ[j] → transmit → link j
+//	                                     ↘ extQ   → egress (ExternalGbps)
+//
+// Each counter field is written by exactly one of the node's procs and
+// merged in node order after the run.
+type fabricNode struct {
+	id    int
+	part  *sim.Partition
+	inbox *sim.Queue[batch]
+	txQ   []*sim.Queue[batch] // per-destination transmit stages
+	extQ  *sim.Queue[batch]   // external egress stage
+	out   []*sim.Link[batch]
+
+	// generator-owned counters
+	genBatches uint64
+	genBits    uint64
+	// forwarder-owned counters
+	forwards uint64
+	// egress-owned counters
+	delivered     uint64
+	deliveredBits uint64
+	hopSum        uint64
+	latSum        sim.Duration
+	latMax        sim.Duration
+}
+
+// gbpsTime returns the serialization time of bits at rate gbps: one
+// Gbps moves one bit per nanosecond.
+func gbpsTime(bits uint64, gbps float64) sim.Duration {
+	return sim.DurationFromSeconds(float64(bits) / (gbps * 1e9))
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunFabric builds the mesh world and runs it to the horizon.
+func RunFabric(cfg FabricConfig) (FabricResult, error) {
+	c := cfg.Cluster
+	if err := c.Validate(); err != nil {
+		return FabricResult{}, err
+	}
+	if cfg.Scheme != Direct && cfg.Scheme != VLB {
+		return FabricResult{}, fmt.Errorf("fabric: scheme %v not modeled (use the analytic Evaluate)", cfg.Scheme)
+	}
+	if len(cfg.Matrix) != c.Nodes {
+		return FabricResult{}, fmt.Errorf("fabric: matrix size %d != nodes %d", len(cfg.Matrix), c.Nodes)
+	}
+	if cfg.LinkLatency <= 0 {
+		return FabricResult{}, fmt.Errorf("fabric: LinkLatency must be positive (it is the lookahead)")
+	}
+	if cfg.Horizon <= 0 {
+		return FabricResult{}, fmt.Errorf("fabric: Horizon must be positive")
+	}
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = 16 << 10
+	}
+	n := c.Nodes
+
+	world := sim.NewWorld()
+	defer world.Close()
+	nodes := make([]*fabricNode, n)
+	for i := 0; i < n; i++ {
+		part := world.NewPartition(fmt.Sprintf("node%d", i))
+		env := part.Env()
+		nd := &fabricNode{
+			id:    i,
+			part:  part,
+			inbox: sim.NewQueue[batch](env, 0),
+			txQ:   make([]*sim.Queue[batch], n),
+			extQ:  sim.NewQueue[batch](env, 0),
+			out:   make([]*sim.Link[batch], n),
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				nd.txQ[j] = sim.NewQueue[batch](env, 0)
+			}
+		}
+		nodes[i] = nd
+	}
+	// Full mesh of links, in (src, dst) order so barrier delivery is
+	// deterministic by construction.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				nodes[i].out[j] = sim.NewLink(nodes[i].part, nodes[j].part,
+					cfg.LinkLatency, nodes[j].inbox)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		nd := nodes[i] // loop-local: each root touches its own node only
+		env := nd.part.Env()
+		env.Go("gen", func(p *sim.Proc) { nd.generate(p, &cfg) })
+		env.Go("fwd", func(p *sim.Proc) { nd.forward(p, &cfg) })
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			j := j
+			env.Go(fmt.Sprintf("tx%d", j), func(p *sim.Proc) { nd.transmit(p, j, &cfg) })
+		}
+		env.Go("egress", func(p *sim.Proc) { nd.egress(p, &cfg) })
+	}
+	world.Run(sim.Time(cfg.Horizon), cfg.Workers)
+
+	// Merge per-node counters in node order: the result is independent
+	// of how many workers advanced the partitions.
+	res := FabricResult{OfferedGbps: cfg.Matrix.Total()}
+	for _, nd := range nodes {
+		res.Batches += nd.genBatches
+		res.Forwards += nd.forwards
+		res.Delivered += nd.delivered
+		res.DeliveredGbps += float64(nd.deliveredBits)
+		res.MeanHops += float64(nd.hopSum)
+		res.MeanLatency += nd.latSum
+		if nd.latMax > res.MaxLatency {
+			res.MaxLatency = nd.latMax
+		}
+	}
+	res.DeliveredGbps /= cfg.Horizon.Seconds() * 1e9
+	if res.Delivered > 0 {
+		res.MeanHops /= float64(res.Delivered)
+		res.MeanLatency /= sim.Duration(res.Delivered)
+	}
+	return res, nil
+}
+
+// generate emits this node's external ingress: per destination, batches
+// at the matrix rate, phase-offset by the seed so nodes do not emit in
+// lockstep. Each batch carries fresh Toeplitz flow-key material, which
+// picks the VLB intermediate the way RSS spreads flows over queues.
+// Diagonal (self-destined) traffic is switched locally, as in Evaluate:
+// it spends the forwarding budget and the external port but no link.
+func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig) {
+	n := cfg.Cluster.Nodes
+	bits := uint64(cfg.BatchBytes) * 8
+	// next[j] is the emission time of the next batch to j; interval[j]
+	// the batch period at the offered rate.
+	next := make([]sim.Time, n)
+	interval := make([]sim.Duration, n)
+	rng := cfg.Seed ^ (uint64(nd.id+1) * 0x9e3779b97f4a7c15)
+	active := 0
+	for j := 0; j < n; j++ {
+		rate := cfg.Matrix[nd.id][j]
+		if rate <= 0 {
+			next[j] = -1
+			continue
+		}
+		interval[j] = gbpsTime(bits, rate)
+		next[j] = sim.Time(splitmix64(&rng) % uint64(interval[j]))
+		active++
+	}
+	if active == 0 {
+		return
+	}
+	for {
+		// Earliest pending destination; ties go to the lower index.
+		j := -1
+		for k := 0; k < n; k++ {
+			if next[k] >= 0 && (j < 0 || next[k] < next[j]) {
+				j = k
+			}
+		}
+		if sim.Duration(next[j]) > cfg.Horizon {
+			return
+		}
+		p.SleepUntil(next[j])
+		b := batch{
+			src: nd.id, dst: j, via: nd.id, bits: bits, born: p.Now(),
+			flowSrc: uint32(splitmix64(&rng)), flowDst: uint32(splitmix64(&rng)),
+		}
+		if cfg.Scheme == VLB {
+			// Valiant: a uniform pseudo-random intermediate, chosen by
+			// the flow's RSS hash; src/dst picks degenerate to direct.
+			h := nic.RSSHashIPv4(nic.DefaultRSSKey[:], b.flowSrc, b.flowDst,
+				uint16(b.flowSrc>>16), uint16(b.flowDst>>16))
+			b.via = int(h % uint32(n))
+		}
+		nd.genBatches++
+		nd.genBits += bits
+		nd.inbox.TryPut(b) // unbounded: own ingress enters the local inbox
+		next[j] += sim.Time(interval[j])
+	}
+}
+
+// forward is the node's packet path: drain the inbox, spend the
+// forwarding budget, and route each batch to its next stage — the
+// external egress queue when this node is the destination, otherwise
+// the per-destination transmit queue. Routing is src → via → dst with
+// degenerate intermediates collapsing to the direct link, mirroring
+// Evaluate's addFlow. The forwarding budget is a plain Sleep: this
+// proc is the budget's only user, so a shared Server would add nothing.
+func (nd *fabricNode) forward(p *sim.Proc, cfg *FabricConfig) {
+	c := &cfg.Cluster
+	for {
+		b := nd.inbox.Get(p)
+		p.Sleep(gbpsTime(b.bits, c.NodeForwardingGbps))
+		nd.forwards++
+		b.hops++
+		if b.dst == nd.id {
+			nd.extQ.TryPut(b)
+			continue
+		}
+		hop := b.dst
+		if nd.id == b.src && b.via != b.src && b.via != b.dst {
+			hop = b.via
+		}
+		nd.txQ[hop].TryPut(b)
+	}
+}
+
+// transmit serializes batches bound for node j onto the mesh link at
+// the internal link rate, then hands them to the link, which delivers
+// into j's inbox after the propagation latency.
+func (nd *fabricNode) transmit(p *sim.Proc, j int, cfg *FabricConfig) {
+	for {
+		b := nd.txQ[j].Get(p)
+		p.Sleep(gbpsTime(b.bits, cfg.Cluster.InternalLinkGbps))
+		nd.out[j].Send(p, b)
+	}
+}
+
+// egress drains delivered batches through the external port budget and
+// records the node's delivery statistics.
+func (nd *fabricNode) egress(p *sim.Proc, cfg *FabricConfig) {
+	for {
+		b := nd.extQ.Get(p)
+		p.Sleep(gbpsTime(b.bits, cfg.Cluster.ExternalGbps))
+		nd.delivered++
+		nd.deliveredBits += b.bits
+		nd.hopSum += uint64(b.hops)
+		lat := sim.Duration(p.Now() - b.born)
+		nd.latSum += lat
+		if lat > nd.latMax {
+			nd.latMax = lat
+		}
+	}
+}

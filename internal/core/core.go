@@ -254,6 +254,7 @@ func New(env *sim.Env, cfg Config, app App) *Router {
 				node:   n,
 				master: m,
 				outQ:   sim.NewQueue[*Chunk](env, model.OutputQueueDepth),
+				ctrlQ:  sim.NewQueue[gpuStatus](env, 0),
 				txBufs: make([][]*packet.Buf, len(r.Engine.Ports)),
 			}
 			r.workers = append(r.workers, w)

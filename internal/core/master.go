@@ -41,8 +41,32 @@ type master struct {
 	gather []*Chunk
 }
 
-// heldOut reports whether workers should bypass the GPU right now.
+// gpuStatus is the hold-out state the master posts to its workers'
+// control queues on every transition (stall and recovery). Workers keep
+// their own copy, so the master↔worker hand-off flows through an
+// explicit sim.Queue — a scheduler-visible lookahead boundary — instead
+// of workers reading the master's fields directly.
+type gpuStatus struct {
+	out     bool
+	retryAt sim.Time
+}
+
+// heldOut reports whether the master itself should bypass the GPU right
+// now (the workers decide from their queue-fed copy; see
+// worker.gpuHeldOut).
 func (m *master) heldOut(now sim.Time) bool { return m.gpuOut && now < m.retryAt }
+
+// publishStatus posts the current hold-out state to every worker on this
+// master's node, in worker-index order. The control queues are unbounded
+// so TryPut cannot fail.
+func (m *master) publishStatus() {
+	st := gpuStatus{out: m.gpuOut, retryAt: m.retryAt}
+	for _, w := range m.router.workers {
+		if w.node == m.node {
+			w.ctrlQ.TryPut(st)
+		}
+	}
+}
 
 func (m *master) run(p *sim.Proc) {
 	r := m.router
@@ -121,6 +145,7 @@ func (m *master) stall(p *sim.Proc, track obs.TrackID) {
 		}
 	}
 	m.retryAt = p.Now() + sim.Time(m.backoff)
+	m.publishStatus()
 }
 
 // recoverGPU closes the outage after a successful probe launch.
@@ -132,6 +157,7 @@ func (m *master) recoverGPU(p *sim.Proc, track obs.TrackID) {
 	m.gpuOut = false
 	m.retryAt = 0
 	m.backoff = 0
+	m.publishStatus()
 }
 
 // fallback re-dispatches stalled chunks through the application's CPU

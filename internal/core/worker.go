@@ -18,7 +18,16 @@ type worker struct {
 	rr     int // round-robin cursor over ifaces (§5.2: fairness)
 
 	master *master
-	outQ   *sim.Queue[*Chunk] // results returned by the master
+	outQ   *sim.Queue[*Chunk]    // results returned by the master
+	ctrlQ  *sim.Queue[gpuStatus] // hold-out updates posted by the master
+
+	// gpuOut/gpuRetryAt mirror the master's hold-out state, fed solely by
+	// draining ctrlQ. Under the cooperative scheduler every transition
+	// ordered before a drain has already been posted, so the mirror
+	// equals the master's state at each offload decision — which is what
+	// makes this mediation behavior-preserving.
+	gpuOut     bool
+	gpuRetryAt sim.Time
 
 	inflight int
 
@@ -75,7 +84,7 @@ func (w *worker) run(p *sim.Proc) {
 					// latency.
 					offload = false
 				}
-				if offload && w.master.heldOut(p.Now()) {
+				if offload && w.gpuHeldOut(p.Now()) {
 					// The watchdog has the GPU held out: degrade to the
 					// CPU path. The first offload after the backoff
 					// expires is the recovery probe.
@@ -106,6 +115,21 @@ func (w *worker) run(p *sim.Proc) {
 			return // no offered load anywhere: worker retires
 		}
 	}
+}
+
+// gpuHeldOut drains any hold-out updates the master has posted to the
+// control queue, then reports whether the GPU should be bypassed right
+// now.
+func (w *worker) gpuHeldOut(now sim.Time) bool {
+	for {
+		st, ok := w.ctrlQ.TryGet()
+		if !ok {
+			break
+		}
+		w.gpuOut = st.out
+		w.gpuRetryAt = st.retryAt
+	}
+	return w.gpuOut && now < w.gpuRetryAt
 }
 
 // fetchChunk builds one chunk by polling the worker's interfaces

@@ -29,6 +29,7 @@ func ablation(c *Ctx) *Result {
 
 	run := func(tweak func(*core.Config)) float64 {
 		env := sim.NewEnv()
+		defer env.Close()
 		cfg := core.DefaultConfig()
 		cfg.PacketSize = 64
 		if tweak != nil {
@@ -46,6 +47,7 @@ func ablation(c *Ctx) *Result {
 	// at light load with and without it.
 	lat := func(opp bool) float64 {
 		env := sim.NewEnv()
+		defer env.Close()
 		cfg := core.DefaultConfig()
 		cfg.PacketSize = 64
 		cfg.OfferedGbpsPerPort = 0.25

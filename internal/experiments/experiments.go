@@ -97,6 +97,7 @@ var Registry = []registryEntry{
 	{ID: "fig12", Run: fig12, UsesV6: true},
 	{ID: "ablation", Run: ablation, UsesV6: true},
 	{ID: "cluster", Run: clusterScaling},
+	{ID: "fabric", Run: fabricScaling},
 	{ID: "fibupdate", Run: fibUpdate, UsesBGP: true},
 	{ID: "faults", Run: faultScenario},
 }

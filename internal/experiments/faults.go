@@ -49,6 +49,7 @@ func faultIPv4Router(env *sim.Env, mode core.Mode, plan *faults.Plan) *core.Rout
 // workload — the floor the degraded system must stay within.
 func cpuOnlyEnvelope() float64 {
 	env := sim.NewEnv()
+	defer env.Close()
 	r := faultIPv4Router(env, core.ModeCPUOnly, nil)
 	r.Start()
 	env.Run(sim.Time(faultWarmup))
@@ -61,6 +62,7 @@ func cpuOnlyEnvelope() float64 {
 // rows and fault counters to res.
 func faultCurve(res *Result) {
 	env := sim.NewEnv()
+	defer env.Close()
 	plan := faults.NewPlan()
 	for n := 0; n < model.NumNodes; n++ {
 		plan.GPUOutage(n, faultAt, faultOutageLen)

@@ -52,6 +52,7 @@ func fibIncremental(base, churn []route.Entry) []string {
 		panic(err)
 	}
 	env := sim.NewEnv()
+	defer env.Close()
 	cfg := core.DefaultConfig()
 	cfg.PacketSize = 64
 	app := &apps.IPv4Fwd{Table: &dyn.Table, NumPorts: model.NumPorts}
@@ -99,6 +100,7 @@ func fibDoubleBuffer(base, churn []route.Entry) []string {
 	}
 	fib := route.NewFIB(first)
 	env := sim.NewEnv()
+	defer env.Close()
 	cfg := core.DefaultConfig()
 	cfg.PacketSize = 64
 	app := &apps.IPv4Fwd{Table: fib.Active(), NumPorts: model.NumPorts}

@@ -36,6 +36,7 @@ func runAppW(pt *Point, mode core.Mode, pktSize int, offeredPerPort float64,
 	warmup, window sim.Duration) *core.Router {
 	mw := pt.MetricsWriter()
 	env := sim.NewEnv()
+	defer env.Close()
 	cfg := core.DefaultConfig()
 	cfg.Mode = mode
 	cfg.PacketSize = pktSize

@@ -27,6 +27,7 @@ func fig12(c *Ctx) *Result {
 
 	measure := func(mode core.Mode, offered float64, tweak func(*core.Config)) float64 {
 		env := sim.NewEnv()
+		defer env.Close()
 		cfg := core.DefaultConfig()
 		cfg.Mode = mode
 		cfg.PacketSize = 64

@@ -29,6 +29,7 @@ func table1(c *Ctx) *Result {
 	pts := MapPoints(c, len(sizes), func(i int, _ *Point) rates {
 		size := sizes[i]
 		env := sim.NewEnv()
+		defer env.Close()
 		link := pcie.NewLink(env, pcie.NewIOH(env, 0), "gpu")
 		const reps = 100
 		var h2d, d2h sim.Duration
@@ -116,6 +117,7 @@ func fig2(c *Ctx) *Result {
 	gpuRates := MapPoints(c, len(batches), func(i int, _ *Point) float64 {
 		batch := batches[i]
 		env := sim.NewEnv()
+		defer env.Close()
 		dev := gpu.New(env, pcie.NewIOH(env, 0), 0)
 		reps := 8
 		his := make([]uint64, batch)

@@ -25,6 +25,7 @@ const (
 // workloads, RX-fetched for RX-only).
 func ioHarness(cfg pktio.Config, wl ioWorkload, pktSize int, window sim.Duration) float64 {
 	env := sim.NewEnv()
+	defer env.Close()
 	e := pktio.New(env, cfg)
 	rate := model.PortPacketRate(pktSize) / float64(cfg.QueuesPerPort)
 	if wl != wlTxOnly {
@@ -141,6 +142,7 @@ func table3(c *Ctx) *Result {
 	}
 	pt := MapPoints(c, 1, func(int, *Point) out {
 		env := sim.NewEnv()
+		defer env.Close()
 		cfg := pktio.DefaultConfig()
 		cfg.Nodes, cfg.Ports, cfg.QueuesPerPort = 1, 1, 1
 		cfg.Mode = pktio.ModeSkb
@@ -208,6 +210,7 @@ func fig5(c *Ctx) *Result {
 
 func fig5OneCore(cfg pktio.Config, window sim.Duration) float64 {
 	env := sim.NewEnv()
+	defer env.Close()
 	e := pktio.New(env, cfg)
 	rate := model.PortPacketRate(64)
 	for _, p := range e.Ports {
@@ -301,6 +304,7 @@ func numa(c *Ctx) *Result {
 // crosses both hubs.
 func numaBlindForward(cfg pktio.Config, window sim.Duration) float64 {
 	env := sim.NewEnv()
+	defer env.Close()
 	e := pktio.New(env, cfg)
 	rate := model.PortPacketRate(64) / float64(cfg.QueuesPerPort)
 	for _, p := range e.Ports {

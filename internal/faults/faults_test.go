@@ -79,8 +79,9 @@ func TestInjectorDeliversAtScheduledTimes(t *testing.T) {
 	if !reflect.DeepEqual(tgt.log, want) {
 		t.Errorf("log = %+v, want %+v", tgt.log, want)
 	}
-	if in.Injected[KindLinkDown] != 1 || in.Injected[KindGPURepair] != 1 {
-		t.Errorf("injected counts wrong: %v", in.Injected)
+	if in.Injected(KindLinkDown) != 1 || in.Injected(KindGPURepair) != 1 {
+		t.Errorf("injected counts wrong: down=%d repair=%d",
+			in.Injected(KindLinkDown), in.Injected(KindGPURepair))
 	}
 }
 

@@ -31,14 +31,24 @@ type Injector struct {
 	tr    *obs.Tracer
 	track obs.TrackID
 
-	// Injected counts delivered events by kind (observability and
-	// tests).
-	Injected map[Kind]uint64
+	// recs holds one delivery record per armed plan event. Each
+	// scheduler callback owns exactly its own record (captured
+	// loop-locally in Arm), so deliveries share no mutable state;
+	// Injected merges the records at read time.
+	recs []delivery
+}
+
+// delivery is the per-armed-event record: the event itself and how many
+// times it has fired (0 or 1; kept a counter so merged totals read
+// naturally).
+type delivery struct {
+	ev    Event
+	count uint64
 }
 
 // NewInjector binds plan to tgt on env. Call Arm to schedule.
 func NewInjector(env *sim.Env, plan *Plan, tgt Target) *Injector {
-	return &Injector{env: env, plan: plan, tgt: tgt, Injected: map[Kind]uint64{}}
+	return &Injector{env: env, plan: plan, tgt: tgt}
 }
 
 // SetTrace attaches a tracer track; each injected event is recorded as
@@ -51,17 +61,42 @@ func (in *Injector) SetTrace(tr *obs.Tracer, track obs.TrackID) {
 // Arm schedules every plan event at now+Event.At on the virtual clock.
 // Events fire in scheduler context and apply the fault directly to the
 // target, so injection timing is exact and independent of process
-// scheduling.
+// scheduling. Each callback captures a pointer to its own delivery
+// record, so the only state a delivery mutates is per-event by
+// construction — no two callbacks share a counter.
 func (in *Injector) Arm() {
 	now := in.env.Now()
-	for _, ev := range in.plan.Events() {
-		ev := ev
-		//pslint:ignore procshare plan events fire as scheduler callbacks at distinct armed timestamps, so deliveries never overlap; the Injected counter and trace appends are ordered by virtual time
-		in.env.At(now+sim.Time(ev.At), func() { in.deliver(ev) })
+	events := in.plan.Events()
+	in.recs = make([]delivery, len(events))
+	for i, ev := range events {
+		in.recs[i].ev = ev
+	}
+	for i := range in.recs {
+		rec := &in.recs[i]
+		in.env.At(now+sim.Time(rec.ev.At), func() {
+			in.apply(rec.ev)
+			rec.count++
+			in.tr.Instant(in.track, rec.ev.Kind.String(), in.env.Now(),
+				obs.Arg{Key: "port", Val: int64(rec.ev.Port)},
+				obs.Arg{Key: "node", Val: int64(rec.ev.Node)})
+		})
 	}
 }
 
-func (in *Injector) deliver(ev Event) {
+// Injected reports how many plan events of kind k have been delivered,
+// merged from the per-event records at read time.
+func (in *Injector) Injected(k Kind) uint64 {
+	var n uint64
+	for i := range in.recs {
+		if in.recs[i].ev.Kind == k {
+			n += in.recs[i].count
+		}
+	}
+	return n
+}
+
+// apply dispatches one fault to the target.
+func (in *Injector) apply(ev Event) {
 	switch ev.Kind {
 	case KindLinkDown:
 		in.tgt.SetCarrier(ev.Port, false)
@@ -78,8 +113,4 @@ func (in *Injector) deliver(ev Event) {
 	case KindRxDropBurst:
 		in.tgt.RxDropBurst(ev.Port, ev.Dur)
 	}
-	in.Injected[ev.Kind]++
-	in.tr.Instant(in.track, ev.Kind.String(), in.env.Now(),
-		obs.Arg{Key: "port", Val: int64(ev.Port)},
-		obs.Arg{Key: "node", Val: int64(ev.Node)})
 }

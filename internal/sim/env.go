@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Time is an absolute point on the virtual clock, in picoseconds. The
@@ -151,8 +152,11 @@ type Env struct {
 	seq     uint64
 	until   Time          // run horizon while running (0 = none)
 	mainCh  chan struct{} // returns control to the Run caller at termination
+	closeCh chan struct{} // terminated processes acknowledge Close here
 	nProcs  int           // live (started, unfinished) processes
+	procs   []*Proc       // every started process, in Go order (for Close)
 	running bool
+	closed  bool
 
 	hooks     Hooks
 	serverSeq int // server IDs in creation order (deterministic)
@@ -160,7 +164,7 @@ type Env struct {
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{mainCh: make(chan struct{})}
+	return &Env{mainCh: make(chan struct{}), closeCh: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -218,12 +222,28 @@ func (e *Env) next() (event, bool) {
 	return e.events.pop(), true
 }
 
+// NextEventAt returns the absolute time of the earliest pending event,
+// or false if nothing is scheduled. The partition scheduler (World) uses
+// it to size windows and skip idle stretches of virtual time.
+func (e *Env) NextEventAt() (Time, bool) {
+	if e.imm.Len() > 0 {
+		return e.now, true
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // Run executes events until the queue drains or the clock passes until
 // (until <= 0 means run to completion). It returns the time of the last
 // executed event. Processes still blocked on queues when the event queue
 // drains are simply abandoned (their goroutines stay parked; a later Run
-// that reaches their wakeups resumes them).
+// that reaches their wakeups resumes them, and Close releases them).
 func (e *Env) Run(until Time) Time {
+	if e.closed {
+		panic("sim: Env.Run on closed Env")
+	}
 	if e.running {
 		panic("sim: Env.Run re-entered")
 	}
@@ -254,8 +274,10 @@ func (e *Env) drive(self *Proc, ending bool) {
 			}
 			e.mainCh <- struct{}{}
 			if !ending {
-				// Park until a later Run reaches our wakeup.
+				// Park until a later Run reaches our wakeup — or Close
+				// terminates us.
 				<-self.resume
+				e.checkClosed(self)
 			}
 			return
 		}
@@ -278,6 +300,54 @@ func (e *Env) drive(self *Proc, ending bool) {
 			return
 		}
 		<-self.resume
+		e.checkClosed(self)
 		return
 	}
+}
+
+// checkClosed runs on a process's own goroutine immediately after it is
+// resumed at a park point. If the environment has been closed, the resume
+// came from Close: the process terminates here via runtime.Goexit, which
+// runs its deferred functions (they must not re-enter the simulation) and
+// then the wrapper in Go acknowledges on closeCh.
+func (e *Env) checkClosed(p *Proc) {
+	if !e.closed {
+		return
+	}
+	p.killed = true
+	p.done = true
+	e.nProcs--
+	runtime.Goexit()
+}
+
+// Close terminates every process still parked in the environment —
+// processes abandoned mid-block when the event queue drained — releasing
+// their goroutines. Without it, each Env leaks one goroutine per blocked
+// process for the life of the host program, which adds up across
+// thousands of sweep-point environments.
+//
+// Close must not be called while Run is in progress. It is idempotent;
+// after the first call the environment is dead (Run and Go panic).
+// Terminated processes unwind via runtime.Goexit, so their deferred
+// functions run, but those functions must not re-enter the simulation.
+// Processes are released in creation order, one at a time, so teardown is
+// as deterministic as the run itself.
+func (e *Env) Close() {
+	if e.running {
+		panic("sim: Env.Close during Run")
+	}
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.closeCh
+	}
+	e.procs = nil
+	e.events = nil
+	e.imm = Ring[event]{}
 }

@@ -9,6 +9,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	killed bool // terminated by Env.Close (written only on p's goroutine)
 }
 
 // Env returns the environment the process belongs to.
@@ -23,10 +24,29 @@ func (p *Proc) Now() Time { return p.env.now }
 // Go starts fn as a new process, scheduled to begin at the current virtual
 // time (after already-queued events at the same instant).
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Env.Go on closed Env")
+	}
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
 	e.nProcs++
+	e.procs = append(e.procs, p)
 	go func() {
-		<-p.resume // wait for first scheduling
+		// p.killed is written only on this goroutine (here or in
+		// checkClosed), so the deferred read below never races with the
+		// rest of the simulation — unlike e.closed, which a dying
+		// goroutine must not read after handing off the control token.
+		defer func() {
+			if p.killed {
+				e.closeCh <- struct{}{}
+			}
+		}()
+		<-p.resume // wait for first scheduling (or Close)
+		if e.closed {
+			p.killed = true
+			p.done = true
+			e.nProcs--
+			return
+		}
 		fn(p)
 		p.done = true
 		e.nProcs--

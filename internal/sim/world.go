@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World couples several independent environments (partitions) into one
+// simulation that can advance them concurrently on host goroutines while
+// producing output byte-identical to running them serially.
+//
+// The protocol is classic conservative (Chandy–Misra time-window)
+// parallelism. Partitions interact only through Links, each carrying a
+// strictly positive latency; the minimum link latency is the world's
+// lookahead W. World.Run advances all partitions in windows of width W:
+// an event executed at time t inside a window can influence another
+// partition no earlier than t+W, which lies beyond the window's end, so
+// within a window every partition's event loop is causally independent
+// and may run on its own goroutine. At the window barrier, messages sent
+// during the window are delivered serially — links in creation order,
+// messages in send order — by scheduling arrival events into the
+// destination environments. Each destination assigns those events its own
+// (at, seq) order at that deterministic insertion point, so the next
+// window executes them exactly as a serial run would: the worker count
+// changes only which host goroutine drives a partition, never the event
+// order within one.
+type World struct {
+	parts     []*Partition
+	links     []flusher
+	lookahead Duration // min link latency (0 until the first link exists)
+	running   bool
+	closed    bool
+
+	busy []*Partition // per-window scratch: partitions with runnable work
+}
+
+// Partition is one member environment of a World. Its processes must
+// touch only state owned by the partition; the only way to affect another
+// partition is Link.Send. (The procshare analyzer plus the shrinking
+// pslint baseline are the repository's static evidence that model code
+// honors this — see DESIGN.md, "Conservative-parallel execution".)
+type Partition struct {
+	world *World
+	index int
+	name  string
+	env   *Env
+}
+
+// flusher is the untyped view of Link[T] used by the window barrier.
+type flusher interface{ flush() }
+
+// NewWorld returns an empty world.
+func NewWorld() *World { return &World{} }
+
+// NewPartition adds a partition with a fresh environment (clock at zero).
+func (w *World) NewPartition(name string) *Partition {
+	if w.running {
+		panic("sim: NewPartition during World.Run")
+	}
+	if w.closed {
+		panic("sim: NewPartition on closed World")
+	}
+	pt := &Partition{world: w, index: len(w.parts), name: name, env: NewEnv()}
+	w.parts = append(w.parts, pt)
+	return pt
+}
+
+// Env returns the partition's environment.
+func (pt *Partition) Env() *Env { return pt.env }
+
+// Name returns the name given at NewPartition time.
+func (pt *Partition) Name() string { return pt.name }
+
+// Index returns the partition's position in creation order.
+func (pt *Partition) Index() int { return pt.index }
+
+// Partitions returns the world's partitions in creation order.
+func (w *World) Partitions() []*Partition { return w.parts }
+
+// Lookahead returns the minimum link latency, the window width used by
+// Run (0 if the world has no links yet, in which case Run uses a single
+// window: unlinked partitions never interact).
+func (w *World) Lookahead() Duration { return w.lookahead }
+
+// linkItem is one in-flight message: its arrival time and payload.
+type linkItem[T any] struct {
+	at Time
+	v  T
+}
+
+// Link is a unidirectional cross-partition channel with latency. A
+// message sent at time t becomes visible to the destination partition at
+// t+latency, by TryPut into dst at that instant. The latency is the
+// propagation delay of the modeled wire and, crucially, the lookahead
+// that makes conservative parallelism sound — which is why zero-latency
+// links are rejected at construction.
+type Link[T any] struct {
+	from, to *Partition
+	latency  Duration
+	dst      *Queue[T]
+	pending  []linkItem[T]
+
+	// Sent counts messages accepted by Send; Dropped counts arrivals
+	// rejected because dst was full at delivery time. Both are
+	// deterministic. Use an unbounded dst queue for lossless links.
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewLink connects from → to with the given latency, delivering into
+// dst, which must belong to to's environment. Latency must be strictly
+// positive: a zero-latency link would give the world zero lookahead and
+// no window in which partitions can safely run concurrently.
+func NewLink[T any](from, to *Partition, latency Duration, dst *Queue[T]) *Link[T] {
+	if from == nil || to == nil || from.world != to.world {
+		panic("sim: NewLink endpoints must belong to the same World")
+	}
+	if from == to {
+		panic("sim: NewLink endpoints must be distinct partitions")
+	}
+	if latency <= 0 {
+		panic(fmt.Sprintf("sim: NewLink latency must be positive (got %d): zero-latency links leave no lookahead", latency))
+	}
+	if dst == nil || dst.env != to.env {
+		panic("sim: NewLink dst queue must belong to the destination partition")
+	}
+	w := from.world
+	if w.running {
+		panic("sim: NewLink during World.Run")
+	}
+	l := &Link[T]{from: from, to: to, latency: latency, dst: dst}
+	w.links = append(w.links, l)
+	if w.lookahead == 0 || latency < w.lookahead {
+		w.lookahead = latency
+	}
+	return l
+}
+
+// Send transmits v from the calling process, to arrive at the
+// destination partition after the link latency. It never blocks; wire
+// serialization (bandwidth) should be modeled with a Server in the
+// sending partition before calling Send.
+func (l *Link[T]) Send(p *Proc, v T) {
+	if p.env != l.from.env {
+		panic("sim: Link.Send from a process outside the source partition")
+	}
+	l.Sent++
+	l.pending = append(l.pending, linkItem[T]{at: p.Now() + Time(l.latency), v: v})
+}
+
+// flush runs at the window barrier, on the World.Run goroutine, after all
+// partitions have joined. Every pending arrival lies strictly beyond the
+// window that produced it (send at t ≥ window start, arrival t+latency ≥
+// start+lookahead > window end), so scheduling it here — before the next
+// window starts — delivers it exactly when a serial run would.
+func (l *Link[T]) flush() {
+	for _, it := range l.pending {
+		v := it.v
+		l.to.env.At(it.at, func() {
+			if !l.dst.TryPut(v) {
+				l.Dropped++
+			}
+		})
+	}
+	l.pending = l.pending[:0]
+}
+
+// Run advances every partition to the absolute virtual time until
+// (inclusive, like Env.Run), using up to workers host goroutines per
+// window. workers == 1 is the serial reference schedule; any workers
+// value produces byte-identical results. The horizon must be positive:
+// conservative windows cannot detect global termination of an endless
+// exchange, so an explicit horizon bounds the run.
+func (w *World) Run(until Time, workers int) Time {
+	if w.running {
+		panic("sim: World.Run re-entered")
+	}
+	if w.closed {
+		panic("sim: World.Run on closed World")
+	}
+	if until <= 0 {
+		panic("sim: World.Run requires a positive horizon")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for {
+		// The next window starts at the earliest pending event anywhere,
+		// so idle stretches of virtual time cost nothing.
+		start, ok := w.nextEventAt()
+		if !ok || start > until {
+			break
+		}
+		end := until
+		if w.lookahead > 0 {
+			// Window [start, start+W) — Env.Run horizons are inclusive,
+			// hence the -1. An event exactly at `end` still executes in
+			// this window; its sends arrive at ≥ end+1, next window.
+			if we := start + Time(w.lookahead) - 1; we < end {
+				end = we
+			}
+		}
+		w.advance(end, workers)
+		for _, l := range w.links {
+			l.flush()
+		}
+	}
+	// Settle every clock at the horizon so Now() is uniform afterwards.
+	for _, pt := range w.parts {
+		pt.env.Run(until)
+	}
+	return until
+}
+
+// nextEventAt returns the earliest pending event time across partitions.
+func (w *World) nextEventAt() (Time, bool) {
+	var best Time
+	found := false
+	for _, pt := range w.parts {
+		if t, ok := pt.env.NextEventAt(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// advance runs every partition's event loop up to end. Partitions with
+// no event due in this window only need their clock moved, which happens
+// inline; the rest are fanned out over up to `workers` goroutines. The
+// environments share no state and the barrier (WaitGroup) orders their
+// memory effects before flush reads the links' pending buffers.
+func (w *World) advance(end Time, workers int) {
+	if workers <= 1 {
+		for _, pt := range w.parts {
+			pt.env.Run(end)
+		}
+		return
+	}
+	w.busy = w.busy[:0]
+	for _, pt := range w.parts {
+		if t, ok := pt.env.NextEventAt(); ok && t <= end {
+			w.busy = append(w.busy, pt)
+		} else {
+			pt.env.Run(end)
+		}
+	}
+	if len(w.busy) <= 1 {
+		for _, pt := range w.busy {
+			pt.env.Run(end)
+		}
+		return
+	}
+	if workers > len(w.busy) {
+		workers = len(w.busy)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(len(w.busy)) {
+					return
+				}
+				w.busy[i].env.Run(end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Close terminates all partitions' parked processes (Env.Close) in
+// partition order, releasing their goroutines. Idempotent; the world is
+// unusable afterwards.
+func (w *World) Close() {
+	if w.running {
+		panic("sim: World.Close during Run")
+	}
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, pt := range w.parts {
+		pt.env.Close()
+	}
+}

@@ -1,22 +1,33 @@
 #!/bin/sh
 # bench.sh measures the simulator's host-side performance and records
-# the trajectory in BENCH_PR5.json:
+# the trajectory in BENCH_PR7.json:
 #
 #   - BenchmarkFig5Batch:     the packet-I/O engine hot path (8 batch
 #                             points x 20 simulated ms of single-core
 #                             forwarding = 160e6 simulated ns per op)
 #   - BenchmarkRouterIPv4GPU: the full CPU+GPU router framework
 #                             (1 simulated ms per op = 1e6 sim ns)
+#   - BenchmarkFabricWorkers: the conservative-parallel cluster fabric
+#                             (16 nodes, VLB, 50 simulated ms) at 1, 2
+#                             and 8 partition workers — the core-scaling
+#                             curve of the windowed world scheduler.
+#                             Results are byte-identical at every worker
+#                             count (CI enforces it), so the ns/op
+#                             spread is pure host parallelism; on a
+#                             single-core host the curve is flat, and
+#                             host_cores records how many cores the
+#                             numbers had to work with.
 #   - psbench_all:            wall-clock seconds for `psbench all` at
-#                             -j 1 (serial) and -j $(nproc) (the PR 5
-#                             parallel experiment harness); the output
-#                             of both runs must be byte-identical
+#                             -j 1 and -j $(nproc); byte-identical
+#   - psbench_fabric:         wall-clock seconds for the partitioned
+#                             fabric + cluster experiments at -p 1 and
+#                             -p 8; byte-identical
 #
-# Go benchmarks run pinned to one worker (see bench_test.go) so ns/op,
-# B/op and allocs/op stay an apples-to-apples measure of the engine hot
-# path across PRs. The "baseline" block is the PR 4 measurement
-# (allocation-free engine) and is fixed; "results" is refreshed on
-# every run.
+# Go benchmarks other than FabricWorkers run pinned to one worker (see
+# bench_test.go) so ns/op, B/op and allocs/op stay an apples-to-apples
+# measure of the engine hot path across PRs. The "baseline" block is
+# the PR 5 measurement (parallel harness, serial world) and is fixed;
+# "results" is refreshed on every run.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
 set -eu
@@ -24,16 +35,16 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
-OUT="BENCH_PR5.json"
+OUT="BENCH_PR7.json"
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 echo "== go test -bench (benchtime=$BENCHTIME)"
-RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' \
+RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$|BenchmarkFabricWorkers' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$RAW"
 
 PSBENCH=$(mktemp /tmp/psbench.XXXXXX)
-trap 'rm -f "$PSBENCH" /tmp/psbench-j1.$$ /tmp/psbench-jN.$$' EXIT
+trap 'rm -f "$PSBENCH" /tmp/psbench-j1.$$ /tmp/psbench-jN.$$ /tmp/psbench-p1.$$ /tmp/psbench-p8.$$' EXIT
 go build -o "$PSBENCH" ./cmd/psbench
 
 wall() { # wall <outfile> <psbench args...>: prints elapsed seconds
@@ -57,10 +68,23 @@ if ! cmp -s /tmp/psbench-j1.$$ /tmp/psbench-jN.$$; then
 fi
 echo "== psbench output byte-identical across -j 1 / -j $NPROC"
 
+echo "== psbench fabric cluster -p 1 (serial world)"
+P1=$(wall /tmp/psbench-p1.$$ fabric cluster -metrics -p 1)
+echo "   ${P1}s"
+echo "== psbench fabric cluster -p 8 (partitioned world)"
+P8=$(wall /tmp/psbench-p8.$$ fabric cluster -metrics -p 8)
+echo "   ${P8}s"
+
+if ! cmp -s /tmp/psbench-p1.$$ /tmp/psbench-p8.$$; then
+	echo "FATAL: psbench fabric output differs between -p 1 and -p 8" >&2
+	exit 1
+fi
+echo "== psbench output byte-identical across -p 1 / -p 8"
+
 printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" \
-	-v j1="$J1" -v jn="$JN" -v nproc="$NPROC" '
+	-v j1="$J1" -v jn="$JN" -v p1="$P1" -v p8="$P8" -v nproc="$NPROC" '
 /^Benchmark/ {
-	# BenchmarkName  N  ns/op  B/op  allocs/op
+	# BenchmarkName[/sub]  N  ns/op  [B/op  allocs/op]
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
 	ns[name] = $3; bytes[name] = $5; allocs[name] = $7
@@ -71,26 +95,37 @@ END {
 	sim["BenchmarkFig5Batch"]     = 160000000  # 8 batch points x 20 ms
 	sim["BenchmarkRouterIPv4GPU"] = 1000000    # 1 ms per op
 
-	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 46552120, \"bytes_per_op\": 587555, \"allocs_per_op\": 1072 }"
-	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 77502333, \"bytes_per_op\": 1415149, \"allocs_per_op\": 2162 }"
+	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 52522007, \"bytes_per_op\": 590193, \"allocs_per_op\": 1113 }"
+	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 75199239, \"bytes_per_op\": 1415149, \"allocs_per_op\": 2162 }"
 
 	printf "{\n"
-	printf "  \"description\": \"host-side simulator performance; baseline = PR 4 (allocation-free engine, serial harness)\",\n"
+	printf "  \"description\": \"host-side simulator performance; baseline = PR 5 (parallel harness, serial world)\",\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"host_cores\": %d,\n", nproc
 	printf "  \"baseline\": {\n"
 	printf "    \"BenchmarkFig5Batch\": %s,\n", base["BenchmarkFig5Batch"]
 	printf "    \"BenchmarkRouterIPv4GPU\": %s,\n", base["BenchmarkRouterIPv4GPU"]
-	printf "    \"psbench_all\": { \"wall_seconds\": 70.0, \"jobs\": 1 }\n"
+	printf "    \"psbench_all\": { \"wall_seconds\": 79.9, \"jobs\": 1 }\n"
 	printf "  },\n"
 	printf "  \"results\": {\n"
 	for (i = 0; i < n; i++) {
 		name = order[i]
-		printf "    \"%s\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"sim_ns_per_op\": %d, \"sim_ns_per_wall_ns\": %.3f },\n", \
-			name, ns[name], bytes[name], allocs[name], sim[name], \
-			sim[name] / ns[name]
+		if (name in sim) {
+			printf "    \"%s\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d, \"sim_ns_per_op\": %d, \"sim_ns_per_wall_ns\": %.3f },\n", \
+				name, ns[name], bytes[name], allocs[name], sim[name], \
+				sim[name] / ns[name]
+		}
 	}
-	printf "    \"psbench_all\": { \"nproc\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true }\n", \
+	printf "    \"fabric_workers\": {\n"
+	printf "      \"_comment\": \"ns/op for the 16-node VLB fabric, 50 sim ms, vs partition workers; results byte-identical at every count\",\n"
+	printf "      \"p1\": %d, \"p2\": %d, \"p8\": %d\n", \
+		ns["BenchmarkFabricWorkers/p1"], ns["BenchmarkFabricWorkers/p2"], \
+		ns["BenchmarkFabricWorkers/p8"]
+	printf "    },\n"
+	printf "    \"psbench_all\": { \"nproc\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true },\n", \
 		nproc, j1, jn
+	printf "    \"psbench_fabric\": { \"nproc\": %d, \"wall_seconds_p1\": %s, \"wall_seconds_p8\": %s, \"byte_identical\": true }\n", \
+		nproc, p1, p8
 	printf "  }\n"
 	printf "}\n"
 }' >"$OUT"

@@ -37,6 +37,15 @@ go test -count=1 -run 'TestFaultScenarioDeterministicAndShaped|TestFaultRunsDete
 echo "== parallel harness: -j 8 byte-identical to -j 1"
 go test -count=1 -run 'TestParallelOutputByteIdenticalToSerial|TestRunMultipleIDsMatchesConcatenation' ./internal/experiments
 
+echo "== partitioned world: -p 8 byte-identical to -p 1"
+go test -count=1 -run 'TestFabricByteIdenticalAcrossPartitionWorkers|TestWorldByteIdenticalAcrossWorkers' ./internal/experiments ./internal/sim
+PSBENCH_BIN="$(mktemp)"
+go build -o "$PSBENCH_BIN" ./cmd/psbench
+"$PSBENCH_BIN" fabric cluster -metrics -p 1 >/tmp/psbench-p1.$$ 2>/dev/null
+"$PSBENCH_BIN" fabric cluster -metrics -p 8 >/tmp/psbench-p8.$$ 2>/dev/null
+cmp /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
+rm -f "$PSBENCH_BIN" /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
+
 echo "== go test -race (sim, core, cluster, pktio, faults)"
 go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
 
