@@ -1,6 +1,10 @@
 // Command pshader runs the PacketShader router simulation with one of
 // the paper's four applications and prints throughput, latency, and
-// framework statistics.
+// framework statistics. With -ctrl it runs as pshaderd: a live router
+// under deterministic script control — the script's route updates, knob
+// retunes, port admin, and stats/metrics snapshots execute on the
+// virtual clock, so replaying the same script with the same seed
+// produces byte-identical output.
 //
 // Examples:
 //
@@ -9,6 +13,7 @@
 //	pshader -app openflow -flows 32768 -wildcards 32
 //	pshader -app ipv6 -mode gpu -opportunistic -offered 1
 //	pshader -app ipv4 -mode gpu -trace trace.json -metrics
+//	pshader -app ipv4 -fib dynamic -ctrl scripts/pshaderd-demo.psc
 package main
 
 import (
@@ -17,19 +22,15 @@ import (
 	"os"
 	"time"
 
-	"packetshader/internal/apps"
-	"packetshader/internal/core"
+	"packetshader"
+	"packetshader/internal/ctrl"
 	"packetshader/internal/model"
 	"packetshader/internal/obs"
 	"packetshader/internal/openflow"
 	"packetshader/internal/packet"
 	"packetshader/internal/pcap"
 	"packetshader/internal/pktgen"
-	"packetshader/internal/route"
 	"packetshader/internal/sim"
-
-	lookupv4 "packetshader/internal/lookup/ipv4"
-	lookupv6 "packetshader/internal/lookup/ipv6"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func main() {
 		streams  = flag.Int("streams", 1, "CUDA streams (concurrent copy & execution)")
 		opp      = flag.Bool("opportunistic", false, "opportunistic offloading (§7)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		fibMode  = flag.String("fib", "static", "IPv4 route-update strategy: static, dynamic, rebuild")
+		ctrlPath = flag.String("ctrl", "", "run as pshaderd: execute this .psc control script on the virtual clock")
 		pcapOut  = flag.String("pcap", "", "capture transmitted packets to this pcap file")
 		pcapN    = flag.Uint64("pcap-limit", 1000, "max packets to capture")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
@@ -53,45 +56,63 @@ func main() {
 	)
 	flag.Parse()
 
-	env := sim.NewEnv()
-	cfg := core.DefaultConfig()
-	cfg.PacketSize = *size
-	cfg.OfferedGbpsPerPort = *offered
-	cfg.Streams = *streams
-	cfg.OpportunisticOffload = *opp
+	opts := []packetshader.Option{
+		packetshader.WithPacketSize(*size),
+		packetshader.WithOfferedGbps(*offered),
+		packetshader.WithStreams(*streams),
+	}
 	switch *mode {
 	case "cpu":
-		cfg.Mode = core.ModeCPUOnly
+		opts = append(opts, packetshader.WithMode(packetshader.ModeCPUOnly))
 	case "gpu":
-		cfg.Mode = core.ModeGPU
+		opts = append(opts, packetshader.WithMode(packetshader.ModeGPU))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-
-	var app core.App
-	var src interface {
-		Fill(b *packet.Buf, port, queue int, seq uint64)
+	if *opp {
+		opts = append(opts, packetshader.WithOpportunisticOffload())
 	}
-	fmt.Fprintf(os.Stderr, "building %s tables...\n", *appName)
-	switch *appName {
-	case "ipv4":
-		entries := route.GenerateBGPTable(*prefixes, 64, *seed)
-		tbl, err := lookupv4.Build(entries)
+	switch *fibMode {
+	case "static":
+	case "dynamic":
+		opts = append(opts, packetshader.WithFIBUpdate(packetshader.FIBDynamic))
+	case "rebuild":
+		opts = append(opts, packetshader.WithFIBUpdate(packetshader.FIBRebuild))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fib mode %q\n", *fibMode)
+		os.Exit(2)
+	}
+
+	var script *ctrl.Script
+	if *ctrlPath != "" {
+		f, err := os.Open(*ctrlPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		app = &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
-		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed), Table: entries}
+		script, err = ctrl.ParseScript(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *ctrlPath, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "building %s tables...\n", *appName)
+	var (
+		inst *packetshader.Instance
+		err  error
+	)
+	switch *appName {
+	case "ipv4":
+		inst, err = packetshader.IPv4(*prefixes, *seed, opts...)
 	case "ipv6":
-		entries := route.GenerateIPv6Table(*prefixes, 64, *seed)
-		app = &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}
-		src = &pktgen.UDP6Source{Size: *size, Seed: uint64(*seed), Table: entries}
+		inst, err = packetshader.IPv6(*prefixes, *seed, opts...)
 	case "openflow":
 		sw := openflow.NewSwitch(*flows)
-		// A default-forward rule catches everything; exact entries are
-		// installed for the generated flows by the demo loop below.
+		// A default-forward rule set catches everything; exact entries
+		// would be installed by a controller.
 		for i := 0; i < *wild; i++ {
 			sw.Wildcard.Insert(openflow.Rule{
 				Wild:     openflow.WAll,
@@ -99,17 +120,19 @@ func main() {
 				Action:   openflow.Action{Type: openflow.ActionOutput, Port: uint16(i % model.NumPorts)},
 			})
 		}
-		app = apps.NewOFSwitch(sw, model.NumPorts)
-		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed)}
+		src := &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed)}
+		inst, err = packetshader.OpenFlowSwitch(sw, src, opts...)
 	case "ipsec":
-		app = apps.NewIPsecGW(model.NumPorts)
-		src = &pktgen.UDP4Source{Size: *size, Seed: uint64(*seed)}
+		inst, err = packetshader.IPsec(*seed, opts...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
 		os.Exit(2)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	router := core.New(env, cfg, app)
 	var (
 		tracer  *obs.Tracer
 		sampler *obs.ServerSampler
@@ -125,10 +148,9 @@ func main() {
 		// The sampler turns every sim.Server reservation (PCIe engines,
 		// GPU copy/exec, NIC serializers) into occupancy spans/totals.
 		sampler = obs.NewServerSampler(tracer)
-		env.SetHooks(sampler)
-		router.EnableObs(tracer, reg)
+		inst.Env.SetHooks(sampler)
+		inst.EnableObs(tracer, reg)
 	}
-	sink := pktgen.NewLatencySink()
 	var tap *pcap.Tap
 	if *pcapOut != "" {
 		f, err := os.Create(*pcapOut)
@@ -138,31 +160,36 @@ func main() {
 		}
 		defer f.Close()
 		tap = &pcap.Tap{W: pcap.NewWriter(f, 0), Limit: *pcapN}
+		inst.TapTx(func(b *packet.Buf, at sim.Time) { tap.Observe(b, at) })
 	}
-	for _, p := range router.Engine.Ports {
-		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) {
-			sink.Observe(b, at)
-			if tap != nil {
-				tap.Observe(b, at)
-			}
+	var ctl *ctrl.Controller
+	if script != nil {
+		// Attach before the run starts: script offsets count from
+		// simulated time zero, warmup included.
+		ctl, err = inst.Control(script, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
-	router.SetSource(src)
-	router.Start()
 
-	wu := sim.DurationFromSeconds(warmup.Seconds())
-	total := wu + sim.DurationFromSeconds(duration.Seconds())
-	env.After(wu, router.ResetMeasurement)
 	start := time.Now()
-	env.Run(sim.Time(total))
+	inst.Run(sim.DurationFromSeconds(warmup.Seconds()))
+	report := inst.Run(sim.DurationFromSeconds(duration.Seconds()))
 	wall := time.Since(start)
+	// Wall time goes to stderr: stdout stays a pure function of the
+	// configuration, so replaying a run diffs byte-identically.
+	fmt.Fprintf(os.Stderr, "simulated %v (+%v warmup) in %v wall time\n",
+		duration, warmup, wall.Round(time.Millisecond))
 
+	router := inst.Router
+	sink := inst.Sink
 	rx, rxDropped, tx, txDropped := router.Engine.AggregateStats()
 	fmt.Printf("PacketShader %s / %s mode, %dB packets, %.1f Gbps/port offered\n",
-		app.Name(), *mode, *size, *offered)
-	fmt.Printf("  simulated %v (+%v warmup) in %v wall time\n", duration, warmup, wall.Round(time.Millisecond))
+		router.App.Name(), *mode, *size, *offered)
+	fmt.Printf("  simulated       %v (+%v warmup)\n", duration, warmup)
 	fmt.Printf("  throughput      %.2f Gbps delivered (%.2f Gbps input)\n",
-		router.DeliveredGbps(), router.InputGbps())
+		report.DeliveredGbps, report.InputGbps)
 	fmt.Printf("  packets         rx=%d rx_dropped=%d tx=%d tx_dropped=%d app_drops=%d\n",
 		rx, rxDropped, tx, txDropped, router.Stats.Drops)
 	fmt.Printf("  chunks          cpu=%d gpu=%d launches=%d\n",
@@ -175,8 +202,16 @@ func main() {
 	for i, dev := range router.Devices {
 		fmt.Printf("  gpu%d            launches=%d threads=%d\n", i, dev.Launches, dev.ThreadsRun)
 	}
+	if ctl != nil {
+		fmt.Printf("  ctrl            commands=%d route_updates=%d cells_touched=%d errors=%d\n",
+			ctl.Fired(), ctl.RoutesApplied(), ctl.CellsTouched(), len(ctl.Errors()))
+		for _, e := range ctl.Errors() {
+			fmt.Fprintf(os.Stderr, "ctrl error: %s\n", e)
+		}
+	}
 	if tap != nil {
-		fmt.Printf("  pcap            %d packets -> %s\n", tap.W.Packets, *pcapOut)
+		fmt.Printf("  pcap            %d packets\n", tap.W.Packets)
+		fmt.Fprintf(os.Stderr, "pcap written to %s\n", *pcapOut)
 		if tap.Err != nil {
 			fmt.Fprintf(os.Stderr, "pcap error: %v\n", tap.Err)
 		}
@@ -195,8 +230,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  trace           %d events -> %s (open at https://ui.perfetto.dev)\n",
-			tracer.Events(), *traceOut)
+		// The event count is simulation output; the destination path is
+		// host detail and goes to stderr so stdout replays byte-identically
+		// regardless of where the trace file lands.
+		fmt.Printf("  trace           %d events\n", tracer.Events())
+		fmt.Fprintf(os.Stderr, "trace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if reg != nil {
 		router.ObserveStats()
@@ -205,7 +243,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := sampler.WriteReport(os.Stdout, env.Now()); err != nil {
+		if err := sampler.WriteReport(os.Stdout, inst.Env.Now()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -28,6 +28,25 @@ const (
 	ModeGPU
 )
 
+// FIBUpdateMode selects how an IPv4 forwarding table accepts live
+// route updates (§7). The framework itself never reads it — it is
+// consumed by the assembly layer (the packetshader facade and
+// cmd/pshader) when the application is built.
+type FIBUpdateMode int
+
+// FIB update strategies.
+const (
+	// FIBStatic builds an immutable table; control-plane route commands
+	// are rejected at attach time.
+	FIBStatic FIBUpdateMode = iota
+	// FIBDynamic patches only the DIR-24-8 cells each update covers,
+	// in place (incremental update, §7).
+	FIBDynamic
+	// FIBRebuild rebuilds the whole table per update batch off the data
+	// path and swaps it in atomically (double buffering, §7).
+	FIBRebuild
+)
+
 // Chunk is a batch of packets fetched together (§5.3): the unit of
 // worker↔master exchange and of GPU parallelism.
 type Chunk struct {
@@ -116,6 +135,11 @@ type Config struct {
 	// workload applied to every port.
 	PacketSize         int
 	OfferedGbpsPerPort float64
+
+	// FIBUpdate selects the live route-update strategy for table-driven
+	// applications (see FIBUpdateMode; read by the assembly layer, not
+	// the framework).
+	FIBUpdate FIBUpdateMode
 
 	// Faults, when non-nil, is a fault plan armed (relative to start
 	// time) when the router starts.
@@ -243,19 +267,24 @@ func New(env *sim.Env, cfg Config, app App) *Router {
 			r.Devices = append(r.Devices, dev)
 			m = &master{
 				router: r, node: n, dev: dev,
-				inQ: sim.NewQueue[*Chunk](env, model.InputQueueDepth),
+				inQ:       sim.NewQueue[*Chunk](env, model.InputQueueDepth),
+				tuneQ:     newTuneQueue(env),
+				gatherMax: cfg.GatherMax,
 			}
 			r.masters = append(r.masters, m)
 		}
 		for wi := 0; wi < workersPerNode; wi++ {
 			w := &worker{
-				router: r,
-				id:     n*workersPerNode + wi,
-				node:   n,
-				master: m,
-				outQ:   sim.NewQueue[*Chunk](env, model.OutputQueueDepth),
-				ctrlQ:  sim.NewQueue[gpuStatus](env, 0),
-				txBufs: make([][]*packet.Buf, len(r.Engine.Ports)),
+				router:   r,
+				id:       n*workersPerNode + wi,
+				node:     n,
+				master:   m,
+				outQ:     sim.NewQueue[*Chunk](env, model.OutputQueueDepth),
+				ctrlQ:    sim.NewQueue[gpuStatus](env, 0),
+				tuneQ:    newTuneQueue(env),
+				txBufs:   make([][]*packet.Buf, len(r.Engine.Ports)),
+				chunkCap: cfg.ChunkCap,
+				opp:      cfg.OpportunisticOffload,
 			}
 			r.workers = append(r.workers, w)
 		}

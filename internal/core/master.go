@@ -24,6 +24,12 @@ type master struct {
 	node   int
 	dev    *gpu.Device
 	inQ    *sim.Queue[*Chunk]
+	tuneQ  *sim.Queue[tuneMsg] // live knob changes posted by the control plane
+
+	// gatherMax is the master's private copy of the one runtime-tunable
+	// knob it consults per launch, seeded from the Config and updated
+	// solely by draining tuneQ (see tuning.go).
+	gatherMax int
 
 	// gpuOut marks the device held out after a watchdog stall; retryAt
 	// is when the next probe may be offloaded; backoff is the current
@@ -82,10 +88,11 @@ func (m *master) run(p *sim.Proc) {
 	}
 	for {
 		first := m.inQ.Get(p)
+		m.drainTuning()
 		m.gather = append(m.gather[:0], first)
-		if r.Cfg.GatherMax > 1 {
+		if m.gatherMax > 1 {
 			// Gather (§5.4): take whatever else is already queued.
-			m.gather = m.inQ.DrainAppend(m.gather, r.Cfg.GatherMax-1)
+			m.gather = m.inQ.DrainAppend(m.gather, m.gatherMax-1)
 		}
 		chunks := m.gather
 		gathered := p.Now()

@@ -1,0 +1,104 @@
+package core
+
+import "packetshader/internal/sim"
+
+// Live tuning: the control plane (internal/ctrl) retunes batch policy
+// while traffic flows. Knob changes travel to the worker and master
+// processes through per-process control queues — the same mediation
+// pattern as the master's gpuStatus hold-out queue — so the hand-off is
+// a scheduler-visible event on the virtual clock, not a shared-memory
+// write racing the hot loops. Each process drains its queue at the top
+// of its loop and keeps a private copy of every knob, which makes the
+// whole mechanism partition-safe under the procshare contract.
+
+// tuneKnob names one runtime-tunable batch-policy knob.
+type tuneKnob uint8
+
+const (
+	tuneChunkCap tuneKnob = iota
+	tuneGatherMax
+	tuneOpportunistic
+)
+
+// tuneMsg is one knob change posted on a tuning queue.
+type tuneMsg struct {
+	knob tuneKnob
+	n    int
+	on   bool
+}
+
+// SetChunkCap changes the per-chunk packet cap (§5.3) on every worker,
+// effective from each worker's next fetch. n < 1 is ignored. Safe to
+// call from scheduler context (Env.At callbacks).
+func (r *Router) SetChunkCap(n int) {
+	if n < 1 {
+		return
+	}
+	r.postTuning(tuneMsg{knob: tuneChunkCap, n: n})
+}
+
+// SetGatherMax changes how many chunks a master gathers into one GPU
+// launch (§5.4), effective from each master's next launch. n < 1 is
+// ignored.
+func (r *Router) SetGatherMax(n int) {
+	if n < 1 {
+		return
+	}
+	r.postTuning(tuneMsg{knob: tuneGatherMax, n: n})
+}
+
+// SetOpportunistic enables or disables opportunistic offloading (§7) on
+// every worker.
+func (r *Router) SetOpportunistic(on bool) {
+	r.postTuning(tuneMsg{knob: tuneOpportunistic, on: on})
+}
+
+// postTuning fans one knob change out to every worker and master tuning
+// queue, in process-index order. The queues are unbounded, so TryPut
+// cannot fail, and posting never blocks — it is legal in scheduler
+// context.
+func (r *Router) postTuning(m tuneMsg) {
+	for _, w := range r.workers {
+		w.tuneQ.TryPut(m)
+	}
+	for _, ms := range r.masters {
+		ms.tuneQ.TryPut(m)
+	}
+}
+
+// newTuneQueue builds the unbounded per-process tuning queue.
+func newTuneQueue(env *sim.Env) *sim.Queue[tuneMsg] {
+	return sim.NewQueue[tuneMsg](env, 0)
+}
+
+// drainTuning applies every queued knob change to the worker's private
+// copies. Called at the top of the worker loop, so a change posted at
+// virtual time t governs every chunk fetched at or after t.
+func (w *worker) drainTuning() {
+	for {
+		m, ok := w.tuneQ.TryGet()
+		if !ok {
+			return
+		}
+		switch m.knob {
+		case tuneChunkCap:
+			w.chunkCap = m.n
+		case tuneOpportunistic:
+			w.opp = m.on
+		}
+	}
+}
+
+// drainTuning applies every queued knob change to the master's private
+// copies. Called when a launch round begins.
+func (m *master) drainTuning() {
+	for {
+		t, ok := m.tuneQ.TryGet()
+		if !ok {
+			return
+		}
+		if t.knob == tuneGatherMax {
+			m.gatherMax = t.n
+		}
+	}
+}

@@ -20,6 +20,13 @@ type worker struct {
 	master *master
 	outQ   *sim.Queue[*Chunk]    // results returned by the master
 	ctrlQ  *sim.Queue[gpuStatus] // hold-out updates posted by the master
+	tuneQ  *sim.Queue[tuneMsg]   // live knob changes posted by the control plane
+
+	// chunkCap and opp are the worker's private copies of the two
+	// runtime-tunable knobs it consults per chunk, seeded from the Config
+	// and updated solely by draining tuneQ (see tuning.go).
+	chunkCap int
+	opp      bool
 
 	// gpuOut/gpuRetryAt mirror the master's hold-out state, fed solely by
 	// draining ctrlQ. Under the cooperative scheduler every transition
@@ -52,6 +59,7 @@ func (w *worker) maxInflight() int {
 func (w *worker) run(p *sim.Proc) {
 	gpuMode := w.router.Cfg.Mode == ModeGPU && w.master != nil
 	for {
+		w.drainTuning()
 		// 1. Finish any chunks the master has returned.
 		for {
 			c, ok := w.outQ.TryGet()
@@ -78,7 +86,7 @@ func (w *worker) run(p *sim.Proc) {
 				p.Sleep(cycles(pre.CPUCycles))
 				o.tr.SpanUntil(track, "pre-shade", c.fetchedAt, p.Now())
 				offload := gpuMode && pre.Threads > 0
-				if offload && w.router.Cfg.OpportunisticOffload &&
+				if offload && w.opp &&
 					len(c.Bufs) <= w.router.Cfg.OppThreshold {
 					// §7: light load — keep the work on the CPU for
 					// latency.
@@ -137,7 +145,7 @@ func (w *worker) gpuHeldOut(now sim.Time) bool {
 // chunk takes whatever the first non-empty queue has, up to the cap —
 // "we do not intentionally wait for the fixed number of packets" (§5.3).
 func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
-	max := w.router.Cfg.ChunkCap
+	max := w.chunkCap
 	c := w.router.getChunk()
 	for i := 0; i < len(w.ifaces); i++ {
 		f := w.ifaces[w.rr]

@@ -1,0 +1,107 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"packetshader/internal/route"
+
+	lookupv4 "packetshader/internal/lookup/ipv4"
+)
+
+// FIBApplier applies one batch of route updates to a live data path.
+// ApplyRoutes runs in scheduler context (no worker executes
+// mid-callback), so every mutation is atomic on the virtual clock; the
+// returned cell count is the number of DIR-24-8 table cells the batch
+// touched — the §7 cost metric separating the two update strategies.
+type FIBApplier interface {
+	ApplyRoutes(batch []RouteUpdate) (cells uint64, err error)
+}
+
+// DynamicFIB is the incremental strategy: patch only the cells covered
+// by each changed prefix, leaving the rest of the table undisturbed
+// (lookup/ipv4.DynamicTable). Cost is ~2^(24-len) cells per update;
+// the data path keeps forwarding through every intermediate state.
+type DynamicFIB struct {
+	T *lookupv4.DynamicTable
+}
+
+// ApplyRoutes applies the batch update by update.
+func (f *DynamicFIB) ApplyRoutes(batch []RouteUpdate) (uint64, error) {
+	var cells uint64
+	for _, u := range batch {
+		switch u.Act {
+		case ActAdd, ActReplace:
+			if err := f.T.Insert(route.Entry{Prefix: u.Prefix, NextHop: u.NextHop}); err != nil {
+				return cells, err
+			}
+		case ActDel:
+			if _, err := f.T.Remove(u.Prefix); err != nil {
+				return cells, err
+			}
+		default:
+			return cells, fmt.Errorf("ctrl: unknown route action %v", u.Act)
+		}
+		cells += cellsTouched(u.Prefix)
+	}
+	return cells, nil
+}
+
+// cellsTouched is the DIR-24-8 patch footprint of one prefix update:
+// 2^(24-len) TBL24 cells for short prefixes, up to 2^(32-len) TBLlong
+// cells for long ones.
+func cellsTouched(p route.Prefix) uint64 {
+	if p.Len <= 24 {
+		return 1 << (24 - p.Len)
+	}
+	return 1 << (32 - p.Len)
+}
+
+// RebuildFIB is the double-buffering strategy §7 discusses: updates
+// accumulate in the RIB, and each batch triggers a full DIR-24-8
+// rebuild off the data path, published atomically through the
+// generation pair and installed by the Install hook (which swaps the
+// application's table pointer). Cost is a full 2^24-cell rebuild per
+// batch; the data path stays on the stale generation until the swap.
+type RebuildFIB struct {
+	RIB *route.RIB
+	FIB *route.FIB[lookupv4.Table]
+	// Install points the data path at the freshly published generation.
+	Install func(*lookupv4.Table)
+}
+
+// NewRebuildFIB builds the double-buffered applier over an initial
+// route set. install receives each published generation.
+func NewRebuildFIB(entries []route.Entry, install func(*lookupv4.Table)) (*RebuildFIB, error) {
+	rib := route.NewRIB()
+	for _, e := range entries {
+		rib.Add(e.Prefix, e.NextHop)
+	}
+	first, err := lookupv4.Build(entries)
+	if err != nil {
+		return nil, err
+	}
+	return &RebuildFIB{RIB: rib, FIB: route.NewFIB(first), Install: install}, nil
+}
+
+// ApplyRoutes folds the batch into the RIB, rebuilds once, and swaps.
+func (f *RebuildFIB) ApplyRoutes(batch []RouteUpdate) (uint64, error) {
+	for _, u := range batch {
+		switch u.Act {
+		case ActAdd, ActReplace:
+			f.RIB.Add(u.Prefix, u.NextHop)
+		case ActDel:
+			f.RIB.Remove(u.Prefix)
+		default:
+			return 0, fmt.Errorf("ctrl: unknown route action %v", u.Act)
+		}
+	}
+	next, err := lookupv4.Build(f.RIB.Entries())
+	if err != nil {
+		return 0, err
+	}
+	f.FIB.Publish(next)
+	if f.Install != nil {
+		f.Install(f.FIB.Active())
+	}
+	return 1 << 24, nil
+}

@@ -1,0 +1,272 @@
+package ctrl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"packetshader/internal/packet"
+	"packetshader/internal/route"
+	"packetshader/internal/sim"
+)
+
+// ParseScript reads the .psc command language: one command per line,
+// each prefixed with a virtual-time offset from the attach instant.
+//
+//	# pshaderd command script
+//	@1ms   route add 10.1.0.0/16 via 3
+//	@1ms   route del 10.2.0.0/16
+//	@1ms   route replace 10.3.0.0/16 via 2
+//	@2ms   set chunkcap 64
+//	@2ms   set gathermax 4
+//	@2ms   set opportunistic on
+//	@3ms   port 2 down
+//	@4ms   stats
+//	@5ms   metrics
+//
+// Offsets take ps/ns/us/ms/s units with an integer or decimal value.
+// Blank lines and `#` comments are ignored. Consecutive route lines
+// with the same offset coalesce into one batch command, so a
+// rebuild-strategy FIB pays one rebuild for the group — to force
+// separate batches, separate the lines with a different offset or any
+// non-route command.
+func ParseScript(r io.Reader) (*Script, error) {
+	s := NewScript()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	// Pending route batch being coalesced: valid when batchOpen.
+	var batch Command
+	batchOpen := false
+	flush := func() {
+		if batchOpen {
+			s.Add(batch)
+			batchOpen = false
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "@") {
+			return nil, fmt.Errorf("line %d: command must start with an @offset, got %q", lineNo, fields[0])
+		}
+		at, err := parseDuration(fields[0][1:])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		cmd, err := parseCommand(at, fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cmd.Op == OpRoute {
+			if batchOpen && batch.At == cmd.At {
+				batch.Routes = append(batch.Routes, cmd.Routes...)
+				continue
+			}
+			flush()
+			batch = cmd
+			batchOpen = true
+			continue
+		}
+		flush()
+		s.Add(cmd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return s, nil
+}
+
+// parseCommand parses the fields after the @offset.
+func parseCommand(at sim.Duration, f []string) (Command, error) {
+	if len(f) == 0 {
+		return Command{}, fmt.Errorf("missing command after offset")
+	}
+	switch f[0] {
+	case "route":
+		return parseRoute(at, f[1:])
+	case "set":
+		return parseSet(at, f[1:])
+	case "port":
+		if len(f) != 3 {
+			return Command{}, fmt.Errorf("usage: port <n> up|down")
+		}
+		port, err := strconv.Atoi(f[1])
+		if err != nil {
+			return Command{}, fmt.Errorf("port %q: not a number", f[1])
+		}
+		up, err := parseUpDown(f[2])
+		if err != nil {
+			return Command{}, err
+		}
+		return PortAdmin(at, port, up), nil
+	case "stats":
+		if len(f) != 1 {
+			return Command{}, fmt.Errorf("stats takes no arguments")
+		}
+		return Stats(at), nil
+	case "metrics":
+		if len(f) != 1 {
+			return Command{}, fmt.Errorf("metrics takes no arguments")
+		}
+		return Metrics(at), nil
+	default:
+		return Command{}, fmt.Errorf("unknown command %q", f[0])
+	}
+}
+
+func parseRoute(at sim.Duration, f []string) (Command, error) {
+	if len(f) == 0 {
+		return Command{}, fmt.Errorf("usage: route add|del|replace <prefix> [via <hop>]")
+	}
+	switch f[0] {
+	case "add", "replace":
+		act := ActAdd
+		if f[0] == "replace" {
+			act = ActReplace
+		}
+		if len(f) != 4 || f[2] != "via" {
+			return Command{}, fmt.Errorf("usage: route %s a.b.c.d/len via <hop>", f[0])
+		}
+		p, err := parsePrefix(f[1])
+		if err != nil {
+			return Command{}, err
+		}
+		hop, err := strconv.ParseUint(f[3], 10, 16)
+		if err != nil {
+			return Command{}, fmt.Errorf("next hop %q: not a 16-bit number", f[3])
+		}
+		return Command{At: at, Op: OpRoute,
+			Routes: []RouteUpdate{{Act: act, Prefix: p, NextHop: uint16(hop)}}}, nil
+	case "del":
+		if len(f) != 2 {
+			return Command{}, fmt.Errorf("usage: route del a.b.c.d/len")
+		}
+		p, err := parsePrefix(f[1])
+		if err != nil {
+			return Command{}, err
+		}
+		return RouteDel(at, p), nil
+	default:
+		return Command{}, fmt.Errorf("unknown route action %q (want add, del or replace)", f[0])
+	}
+}
+
+func parseSet(at sim.Duration, f []string) (Command, error) {
+	if len(f) != 2 {
+		return Command{}, fmt.Errorf("usage: set chunkcap|gathermax|opportunistic <value>")
+	}
+	switch f[0] {
+	case "chunkcap", "gathermax":
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 1 {
+			return Command{}, fmt.Errorf("set %s %q: want a positive integer", f[0], f[1])
+		}
+		if f[0] == "chunkcap" {
+			return SetChunkCap(at, n), nil
+		}
+		return SetGatherMax(at, n), nil
+	case "opportunistic":
+		switch f[1] {
+		case "on":
+			return SetOpportunistic(at, true), nil
+		case "off":
+			return SetOpportunistic(at, false), nil
+		default:
+			return Command{}, fmt.Errorf("set opportunistic %q: want on or off", f[1])
+		}
+	default:
+		return Command{}, fmt.Errorf("unknown knob %q (want chunkcap, gathermax or opportunistic)", f[0])
+	}
+}
+
+func parseUpDown(s string) (bool, error) {
+	switch s {
+	case "up":
+		return true, nil
+	case "down":
+		return false, nil
+	default:
+		return false, fmt.Errorf("%q: want up or down", s)
+	}
+}
+
+// parsePrefix parses `a.b.c.d/len` and insists the host bits are zero —
+// a typo'd prefix should fail loudly, not silently cover a different
+// range.
+func parsePrefix(s string) (route.Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return route.Prefix{}, fmt.Errorf("prefix %q: missing /len", s)
+	}
+	plen, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || plen > 32 {
+		return route.Prefix{}, fmt.Errorf("prefix %q: length must be 0..32", s)
+	}
+	addr, err := parseIPv4(s[:slash])
+	if err != nil {
+		return route.Prefix{}, fmt.Errorf("prefix %q: %v", s, err)
+	}
+	p := route.Prefix{Addr: addr, Len: uint8(plen)}
+	if uint32(addr)&^p.Mask() != 0 {
+		return route.Prefix{}, fmt.Errorf("prefix %q: host bits set (want %v/%d)",
+			s, packet.IPv4Addr(uint32(addr)&p.Mask()), plen)
+	}
+	return p, nil
+}
+
+// parseIPv4 parses a dotted quad into a host-order address.
+func parseIPv4(s string) (packet.IPv4Addr, error) {
+	var addr uint32
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("want a dotted quad")
+	}
+	for _, part := range parts {
+		o, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad octet %q", part)
+		}
+		addr = addr<<8 | uint32(o)
+	}
+	return packet.IPv4Addr(addr), nil
+}
+
+// psc duration units, longest spelling first so "ms" wins over "s".
+var durUnits = []struct {
+	suffix string
+	d      sim.Duration
+}{
+	{"ns", sim.Nanosecond},
+	{"us", sim.Microsecond},
+	{"ms", sim.Millisecond},
+	{"ps", sim.Picosecond},
+	{"s", sim.Second},
+}
+
+// parseDuration parses an integer or decimal value with a ps/ns/us/ms/s
+// unit into a virtual duration. (sim durations are picosecond integers;
+// the decimal form is rounded to the nearest picosecond.)
+func parseDuration(s string) (sim.Duration, error) {
+	for _, u := range durUnits {
+		v, ok := strings.CutSuffix(s, u.suffix)
+		if !ok || v == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return 0, fmt.Errorf("offset %q: want a non-negative value before %q", s, u.suffix)
+		}
+		return sim.DurationFromSeconds(f * u.d.Seconds()), nil
+	}
+	return 0, fmt.Errorf("offset %q: want <value><ps|ns|us|ms|s>", s)
+}

@@ -100,6 +100,7 @@ var Registry = []registryEntry{
 	{ID: "fabric", Run: fabricScaling},
 	{ID: "fibupdate", Run: fibUpdate, UsesBGP: true},
 	{ID: "faults", Run: faultScenario},
+	{ID: "churn", Run: churn},
 }
 
 // Run executes the experiment with the given ID (or all of them for

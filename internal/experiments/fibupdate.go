@@ -133,7 +133,7 @@ func fibDoubleBuffer(base, churn []route.Entry) []string {
 	env.After(4*sim.Millisecond, router.ResetMeasurement)
 	env.Run(sim.Time(8 * sim.Millisecond))
 	return []string{"double-buffer (batch 100)", fmt.Sprintf("%d", applied),
-		fmt.Sprintf("%d", 1 << 24), // full rebuild touches every cell
+		fmt.Sprintf("%d", 1<<24), // full rebuild touches every cell
 		fmt.Sprintf("%.1f", router.DeliveredGbps())}
 }
 

@@ -121,6 +121,16 @@ func (pl *Plan) RxDropBurst(port int, at, dur sim.Duration) *Plan {
 	return pl.Add(Event{At: at, Kind: KindRxDropBurst, Port: port, Dur: dur})
 }
 
+// Merge appends every event of other (nil-safe) and returns the plan
+// for chaining — the composition hook for option-style builders that
+// accumulate independently constructed plans.
+func (pl *Plan) Merge(other *Plan) *Plan {
+	if other != nil {
+		pl.events = append(pl.events, other.events...)
+	}
+	return pl
+}
+
 // Len reports the number of scheduled events.
 func (pl *Plan) Len() int {
 	if pl == nil {

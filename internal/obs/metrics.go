@@ -86,8 +86,8 @@ func bucketUpper(i int) int64 {
 	if i < histSub {
 		return int64(i)
 	}
-	o := uint(i / histSub)     // octave, >= 1
-	r := uint64(i % histSub)   // linear sub-bucket within the octave
+	o := uint(i / histSub)   // octave, >= 1
+	r := uint64(i % histSub) // linear sub-bucket within the octave
 	hi := (r + histSub + 1) << (o - 1)
 	if hi == 0 || hi-1 > math.MaxInt64 { // top-octave shift overflow
 		return math.MaxInt64

@@ -21,11 +21,14 @@ package packetshader
 
 import (
 	"fmt"
+	"io"
 
 	"packetshader/internal/apps"
 	"packetshader/internal/core"
+	"packetshader/internal/ctrl"
 	"packetshader/internal/faults"
 	"packetshader/internal/model"
+	"packetshader/internal/obs"
 	"packetshader/internal/openflow"
 	"packetshader/internal/packet"
 	"packetshader/internal/pktgen"
@@ -46,6 +49,9 @@ const (
 
 // Duration is virtual time (picoseconds).
 type Duration = sim.Duration
+
+// Time is an instant on the virtual clock.
+type Time = sim.Time
 
 // Mode selects CPU-only or GPU-accelerated operation.
 type Mode = core.Mode
@@ -105,30 +111,60 @@ func WithoutPipelining() Option { return func(c *core.Config) { c.Pipelining = f
 // WithGatherMax bounds how many chunks one GPU launch gathers (§5.4).
 func WithGatherMax(n int) Option { return func(c *core.Config) { c.GatherMax = n } }
 
-// WithGPUOutage schedules a GPU failure on every node at offset at from
-// the router's start, repaired after dur. The master watchdog degrades
-// to the CPU path for the outage (see Report.DegradedTime).
-func WithGPUOutage(at, dur Duration) Option {
+// FIBUpdateMode selects the live route-update strategy (§7) for
+// IPv4 instances: see WithFIBUpdate.
+type FIBUpdateMode = core.FIBUpdateMode
+
+// FIB update strategies.
+const (
+	// FIBStatic (the default) builds an immutable table; control-plane
+	// route commands are rejected.
+	FIBStatic = core.FIBStatic
+	// FIBDynamic patches affected DIR-24-8 cells in place per update.
+	FIBDynamic = core.FIBDynamic
+	// FIBRebuild rebuilds the whole table per batch and swaps it in.
+	FIBRebuild = core.FIBRebuild
+)
+
+// WithFIBUpdate selects how the IPv4 instance's forwarding table
+// accepts live route updates from a control script (Instance.Control).
+// Only IPv4 consumes it: the other applications have no route table
+// (IPsec, OpenFlow) or no dynamic lookup structure yet (IPv6), so their
+// instances reject route commands regardless of mode.
+func WithFIBUpdate(m FIBUpdateMode) Option {
+	return func(c *core.Config) { c.FIBUpdate = m }
+}
+
+// WithFaults merges a full fault plan (see internal/faults: link flaps,
+// RX drop bursts, GPU outages, PCIe retrains, or a seeded Random mix)
+// into the instance, armed relative to the router's start. Options
+// compose: multiple WithFaults/WithGPUOutage/WithLinkFlap options merge
+// into one plan.
+func WithFaults(p *faults.Plan) Option {
 	return func(c *core.Config) {
 		if c.Faults == nil {
 			c.Faults = faults.NewPlan()
 		}
-		for n := 0; n < model.NumNodes; n++ {
-			c.Faults.GPUOutage(n, at, dur)
-		}
+		c.Faults.Merge(p)
 	}
+}
+
+// WithGPUOutage schedules a GPU failure on every node at offset at from
+// the router's start, repaired after dur. The master watchdog degrades
+// to the CPU path for the outage (see Report.DegradedTime).
+func WithGPUOutage(at, dur Duration) Option {
+	pl := faults.NewPlan()
+	for n := 0; n < model.NumNodes; n++ {
+		pl.GPUOutage(n, at, dur)
+	}
+	return WithFaults(pl)
 }
 
 // WithLinkFlap schedules carrier loss on one port at offset at from the
 // router's start, restored after dur. Packets forwarded to the port
 // during the flap are dropped and counted in Report.DroppedPackets.
 func WithLinkFlap(port int, at, dur Duration) Option {
-	return func(c *core.Config) {
-		if c.Faults == nil {
-			c.Faults = faults.NewPlan()
-		}
-		c.Faults.LinkFlap(port, at, dur)
-	}
+	return WithFaults(faults.NewPlan().LinkFlap(port, at, dur))
 }
 
 // Instance is an assembled router plus its workload generator and
@@ -139,6 +175,9 @@ type Instance struct {
 	Sink   *pktgen.LatencySink
 
 	started bool
+	fib     ctrl.FIBApplier // nil unless built with an updatable FIB
+	reg     *obs.Registry   // set by EnableObs, snapshotted by metrics commands
+	tap     func(b *packet.Buf, at sim.Time)
 }
 
 // Report summarizes one run.
@@ -163,10 +202,14 @@ type Report struct {
 }
 
 // build assembles an Instance: options are applied to the default
-// config and validated *first*, then the source is constructed from the
-// resolved config — so a generator always sees the final packet size
-// and there is no post-hoc rebinding.
-func build(app core.App, mkSrc func(cfg *core.Config) Source, opts []Option) (*Instance, error) {
+// config and validated *first*, then the application and the source are
+// constructed from the resolved config — so the app sees the final FIB
+// update mode, a generator always sees the final packet size, and there
+// is no post-hoc rebinding. mkApp returns the application plus the
+// FIBApplier a control script's route commands go through (nil when the
+// table is static).
+func build(mkApp func(cfg *core.Config) (core.App, ctrl.FIBApplier, error),
+	mkSrc func(cfg *core.Config) Source, opts []Option) (*Instance, error) {
 	env := sim.NewEnv()
 	cfg := core.DefaultConfig()
 	for _, o := range opts {
@@ -175,13 +218,23 @@ func build(app core.App, mkSrc func(cfg *core.Config) Source, opts []Option) (*I
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
+	app, fib, err := mkApp(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	r := core.New(env, cfg, app)
 	sink := pktgen.NewLatencySink()
+	inst := &Instance{Env: env, Router: r, Sink: sink, fib: fib}
 	for _, p := range r.Engine.Ports {
-		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) { sink.Observe(b, at) }
+		p.Tx.OnComplete = func(b *packet.Buf, at sim.Time) {
+			sink.Observe(b, at)
+			if inst.tap != nil {
+				inst.tap(b, at)
+			}
+		}
 	}
 	r.SetSource(mkSrc(&cfg))
-	return &Instance{Env: env, Router: r, Sink: sink}, nil
+	return inst, nil
 }
 
 // validate rejects configurations the models are not calibrated for.
@@ -197,6 +250,23 @@ func validate(cfg *core.Config) error {
 		return fmt.Errorf("packetshader: chunk cap %d < 1", cfg.ChunkCap)
 	case cfg.GatherMax < 1:
 		return fmt.Errorf("packetshader: gather max %d < 1", cfg.GatherMax)
+	case cfg.FIBUpdate < core.FIBStatic || cfg.FIBUpdate > core.FIBRebuild:
+		return fmt.Errorf("packetshader: unknown FIB update mode %d", cfg.FIBUpdate)
+	}
+	for _, e := range cfg.Faults.Events() {
+		switch e.Kind {
+		case faults.KindLinkDown, faults.KindLinkUp, faults.KindRxDropBurst:
+			if e.Port < 0 || e.Port >= model.NumPorts {
+				return fmt.Errorf("packetshader: fault %v targets port %d outside 0..%d",
+					e.Kind, e.Port, model.NumPorts-1)
+			}
+		case faults.KindGPUFail, faults.KindGPURepair,
+			faults.KindPCIeRetrain, faults.KindPCIeRestore:
+			if e.Node < 0 || e.Node >= model.NumNodes {
+				return fmt.Errorf("packetshader: fault %v targets node %d outside 0..%d",
+					e.Kind, e.Node, model.NumNodes-1)
+			}
+		}
 	}
 	return nil
 }
@@ -211,15 +281,37 @@ func Must(inst *Instance, err error) *Instance {
 }
 
 // IPv4 assembles an IPv4 forwarder with a synthetic BGP table of the
-// given size (§6.2.1 uses 282,797 prefixes — route.BGPTableSize).
+// given size (§6.2.1 uses 282,797 prefixes — route.BGPTableSize). The
+// table honors WithFIBUpdate: FIBDynamic and FIBRebuild instances
+// accept live route commands through Instance.Control.
 func IPv4(prefixes int, seed int64, opts ...Option) (*Instance, error) {
 	entries := route.GenerateBGPTable(prefixes, 64, seed)
-	tbl, err := lookupv4.Build(entries)
-	if err != nil {
-		return nil, err
-	}
-	app := &apps.IPv4Fwd{Table: tbl, NumPorts: model.NumPorts}
-	return build(app, func(cfg *core.Config) Source {
+	return build(func(cfg *core.Config) (core.App, ctrl.FIBApplier, error) {
+		app := &apps.IPv4Fwd{NumPorts: model.NumPorts}
+		switch cfg.FIBUpdate {
+		case core.FIBDynamic:
+			dyn, err := lookupv4.NewDynamic(entries)
+			if err != nil {
+				return nil, nil, err
+			}
+			app.Table = &dyn.Table
+			return app, &ctrl.DynamicFIB{T: dyn}, nil
+		case core.FIBRebuild:
+			fib, err := ctrl.NewRebuildFIB(entries, func(t *lookupv4.Table) { app.Table = t })
+			if err != nil {
+				return nil, nil, err
+			}
+			app.Table = fib.FIB.Active()
+			return app, fib, nil
+		default: // FIBStatic
+			tbl, err := lookupv4.Build(entries)
+			if err != nil {
+				return nil, nil, err
+			}
+			app.Table = tbl
+			return app, nil, nil
+		}
+	}, func(cfg *core.Config) Source {
 		return &pktgen.UDP4Source{Size: cfg.PacketSize, Seed: uint64(seed), Table: entries}
 	}, opts)
 }
@@ -228,16 +320,18 @@ func IPv4(prefixes int, seed int64, opts ...Option) (*Instance, error) {
 // 200,000).
 func IPv6(prefixes int, seed int64, opts ...Option) (*Instance, error) {
 	entries := route.GenerateIPv6Table(prefixes, 64, seed)
-	app := &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}
-	return build(app, func(cfg *core.Config) Source {
+	return build(func(*core.Config) (core.App, ctrl.FIBApplier, error) {
+		return &apps.IPv6Fwd{Table: lookupv6.Build(entries), NumPorts: model.NumPorts}, nil, nil
+	}, func(cfg *core.Config) Source {
 		return &pktgen.UDP6Source{Size: cfg.PacketSize, Seed: uint64(seed), Table: entries}
 	}, opts)
 }
 
 // IPsec assembles the ESP tunnel gateway (§6.2.4), one SA per port.
 func IPsec(seed int64, opts ...Option) (*Instance, error) {
-	app := apps.NewIPsecGW(model.NumPorts)
-	return build(app, func(cfg *core.Config) Source {
+	return build(func(*core.Config) (core.App, ctrl.FIBApplier, error) {
+		return apps.NewIPsecGW(model.NumPorts), nil, nil
+	}, func(cfg *core.Config) Source {
 		return &pktgen.UDP4Source{Size: cfg.PacketSize, Seed: uint64(seed)}
 	}, opts)
 }
@@ -245,8 +339,33 @@ func IPsec(seed int64, opts ...Option) (*Instance, error) {
 // OpenFlowSwitch wraps a caller-configured switch data path (§6.2.3)
 // fed by a caller-supplied frame source.
 func OpenFlowSwitch(sw *openflow.Switch, src Source, opts ...Option) (*Instance, error) {
-	app := apps.NewOFSwitch(sw, model.NumPorts)
-	return build(app, func(*core.Config) Source { return src }, opts)
+	return build(func(*core.Config) (core.App, ctrl.FIBApplier, error) {
+		return apps.NewOFSwitch(sw, model.NumPorts), nil, nil
+	}, func(*core.Config) Source { return src }, opts)
+}
+
+// EnableObs installs a tracer and/or metrics registry on the router
+// (either may be nil). It must be called before the first Run; the
+// registry also becomes the source for a control script's `metrics`
+// command.
+func (i *Instance) EnableObs(tr *obs.Tracer, reg *obs.Registry) {
+	i.Router.EnableObs(tr, reg)
+	i.reg = reg
+}
+
+// TapTx registers an extra observer called for every transmitted frame
+// (after the latency sink) — the hook pcap capture uses.
+func (i *Instance) TapTx(fn func(b *packet.Buf, at Time)) { i.tap = fn }
+
+// Control attaches a management script to the instance: every command
+// is scheduled on the virtual clock at its offset from now, so the
+// following Run executes the script deterministically mid-traffic.
+// Command responses stream to out (nil discards them); route commands
+// require an instance built with WithFIBUpdate(FIBDynamic) or
+// WithFIBUpdate(FIBRebuild). The returned controller reports what each
+// command did once the run has advanced past it.
+func (i *Instance) Control(script *ctrl.Script, out io.Writer) (*ctrl.Controller, error) {
+	return ctrl.Attach(i.Env, i.Router, script, ctrl.Config{Out: out, FIB: i.fib, Reg: i.reg})
 }
 
 // Run starts the router (first call), advances virtual time by d, and

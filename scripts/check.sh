@@ -46,8 +46,28 @@ go build -o "$PSBENCH_BIN" ./cmd/psbench
 cmp /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
 rm -f "$PSBENCH_BIN" /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
 
-echo "== go test -race (sim, core, cluster, pktio, faults)"
-go test -race ./internal/sim ./internal/core ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
+echo "== pshaderd replay: control script byte-identical across runs"
+PSHADER_BIN="$(mktemp)"
+go build -o "$PSHADER_BIN" ./cmd/pshader
+for i in 1 2; do
+  "$PSHADER_BIN" -app ipv4 -prefixes 5000 -fib dynamic \
+    -ctrl scripts/pshaderd-demo.psc -warmup 2ms -duration 6ms \
+    -metrics -trace /tmp/pshaderd-trace$i.$$ >/tmp/pshaderd-run$i.$$ 2>/dev/null
+done
+cmp /tmp/pshaderd-run1.$$ /tmp/pshaderd-run2.$$
+cmp /tmp/pshaderd-trace1.$$ /tmp/pshaderd-trace2.$$
+rm -f "$PSHADER_BIN" /tmp/pshaderd-run[12].$$ /tmp/pshaderd-trace[12].$$
+
+echo "== churn experiment: run-twice byte-identical"
+PSBENCH_BIN="$(mktemp)"
+go build -o "$PSBENCH_BIN" ./cmd/psbench
+"$PSBENCH_BIN" churn >/tmp/psbench-churn1.$$ 2>/dev/null
+"$PSBENCH_BIN" churn >/tmp/psbench-churn2.$$ 2>/dev/null
+cmp /tmp/psbench-churn1.$$ /tmp/psbench-churn2.$$
+rm -f "$PSBENCH_BIN" /tmp/psbench-churn[12].$$
+
+echo "== go test -race (sim, core, ctrl, cluster, pktio, faults)"
+go test -race ./internal/sim ./internal/core ./internal/ctrl ./internal/cluster ./internal/pktio ./internal/obs ./internal/faults
 
 echo "== go test -race -short (parallel experiment harness)"
 go test -race -short ./internal/experiments
