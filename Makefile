@@ -1,12 +1,18 @@
 # Development entry points. `make check` is the expanded tier-1
 # verification and mirrors CI (.github/workflows/ci.yml) exactly.
 
-.PHONY: check build test lint race bench trace-demo
+.PHONY: check build test lint race bench profile trace-demo
 
 check:
 	./scripts/check.sh
 
-# bench refreshes BENCH_PR7.json: the two key benchmarks with -benchmem,
+# profile runs the three key benchmarks (Fig5Batch, RouterIPv4GPU,
+# FabricWorkers/p1) with CPU+alloc profiling and writes pprof files plus
+# top-25 summaries under profiles/. Pass BENCHTIME for longer runs.
+profile:
+	./scripts/profile.sh $(BENCHTIME)
+
+# bench refreshes BENCH_PR9.json: the two key benchmarks with -benchmem,
 # the simulated-ns-per-wall-ns figure of merit, the fabric core-scaling
 # curve at -p 1/2/8, and `psbench all` wall time at -j 1 vs -j $(nproc).
 # Pass BENCHTIME to trade precision for speed (default 10x).

@@ -537,3 +537,55 @@ func TestOFSwitchAppliesModifyActions(t *testing.T) {
 		t.Error("checksum broken by rewrite")
 	}
 }
+
+// TestPreShadeWritesEveryOutPort pins the App contract core relies on:
+// PreShade must write every OutPorts slot (forward, -1 drop, or -2 slow
+// path), because worker.fetchChunk recycles chunks WITHOUT clearing
+// OutPorts. Every slot is poisoned with a sentinel before PreShade; a
+// surviving sentinel would mean a recycled chunk could leak a stale
+// forwarding decision.
+func TestPreShadeWritesEveryOutPort(t *testing.T) {
+	const sentinel = 0x7ead
+	entries := []route.Entry{
+		{Prefix: route.Prefix{Addr: 0x0A000000, Len: 8}, NextHop: 3},
+	}
+	entries6 := []route.Entry6{
+		{Prefix6: route.Prefix6{Hi: 0x20010db800000000, Len: 32}, NextHop: 5},
+	}
+	garbage := make([]byte, 60) // non-IP noise
+	for i := range garbage {
+		garbage[i] = byte(i * 37)
+	}
+	short := []byte{1, 2, 3}
+	// A frame mix no single app fully accepts: valid IPv4/UDP, valid
+	// IPv6/UDP, garbage, and a truncated runt.
+	mix := [][]byte{
+		udp4Frame(0x0A010101, 64),
+		udp4Frame(0x0B010101, 64),
+		udp6Frame(packet.IPv6AddrFromParts(0x20010db8aaaa0000, 9), 78),
+		garbage,
+		short,
+	}
+	multi, _, _ := newMulti(t)
+	_, term := termFixture(t)
+	appsUnderTest := map[string]core.App{
+		"ipv4fwd":   buildIPv4App(t, entries),
+		"ipv6fwd":   &IPv6Fwd{Table: ipv6.Build(entries6), NumPorts: 8},
+		"ofswitch":  NewOFSwitch(openflow.NewSwitch(16), 8),
+		"ipsecgw":   NewIPsecGW(8),
+		"ipsecterm": term,
+		"multiapp":  multi,
+	}
+	for name, app := range appsUnderTest {
+		c := mkChunk(mix...)
+		for i := range c.OutPorts {
+			c.OutPorts[i] = sentinel
+		}
+		app.PreShade(c)
+		for i, p := range c.OutPorts {
+			if p == sentinel {
+				t.Errorf("%s: PreShade left OutPorts[%d] unwritten", name, i)
+			}
+		}
+	}
+}

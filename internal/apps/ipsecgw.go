@@ -62,7 +62,7 @@ func (a *IPsecGW) PreShade(c *core.Chunk) core.PreResult {
 	inBytes, outBytes := 0, 0
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1
-		if err := d.Decode(b.Data); err != nil || !d.Has(packet.LayerIPv4) {
+		if err := d.DecodeFast(b.Data); err != nil || !d.Has(packet.LayerIPv4) {
 			continue
 		}
 		c.OutPorts[i] = -2

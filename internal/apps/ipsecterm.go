@@ -57,7 +57,7 @@ func (a *IPsecTerm) PreShade(c *core.Chunk) core.PreResult {
 	inBytes := 0
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1
-		if err := d.Decode(b.Data); err != nil || !d.Has(packet.LayerESP) {
+		if err := d.DecodeFast(b.Data); err != nil || !d.Has(packet.LayerESP) {
 			a.Malformed++
 			continue
 		}

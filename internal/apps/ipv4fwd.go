@@ -56,7 +56,7 @@ func (a *IPv4Fwd) PreShade(c *core.Chunk) core.PreResult {
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1
-		if err := d.Decode(b.Data); err != nil || !d.Has(packet.LayerIPv4) {
+		if err := d.DecodeFast(b.Data); err != nil || !d.Has(packet.LayerIPv4) {
 			a.SlowPath++
 			st.addrs = append(st.addrs, 0) // keep slot alignment
 			continue

@@ -45,7 +45,7 @@ func (a *IPv6Fwd) PreShade(c *core.Chunk) core.PreResult {
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1
-		if err := d.Decode(b.Data); err != nil || !d.Has(packet.LayerIPv6) {
+		if err := d.DecodeFast(b.Data); err != nil || !d.Has(packet.LayerIPv6) {
 			a.SlowPath++
 			continue
 		}

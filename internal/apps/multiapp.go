@@ -62,7 +62,7 @@ func (m *MultiApp) PreShade(c *core.Chunk) core.PreResult {
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		app := -1
-		if err := d.Decode(b.Data); err == nil {
+		if err := d.DecodeFast(b.Data); err == nil {
 			app = m.Classify(&d, b)
 		}
 		st.assignment[i] = app

@@ -77,7 +77,7 @@ func (a *OFSwitch) PreShade(c *core.Chunk) core.PreResult {
 	var d packet.Decoder
 	for i, b := range c.Bufs {
 		c.OutPorts[i] = -1
-		if err := d.Decode(b.Data); err != nil {
+		if err := d.DecodeFast(b.Data); err != nil {
 			continue
 		}
 		st.keys[i] = openflow.ExtractKey(&d, uint16(b.Port))

@@ -476,3 +476,30 @@ func TestFaultRunsDeterministic(t *testing.T) {
 			s1, c1, d1, s2, c2, d2)
 	}
 }
+
+// TestRecycledChunksDontLeakStalePorts pins the OutPorts recycling
+// contract: fetchChunk reuses chunk OutPorts arrays WITHOUT clearing
+// them (every App's PreShade writes every slot). The free list is
+// pre-poisoned with out-of-range port numbers; if a stale slot ever
+// survived to transmission, Engine.Send would index a nonexistent port
+// and panic, and the bogus ports would corrupt forwarding.
+func TestRecycledChunksDontLeakStalePorts(t *testing.T) {
+	env := sim.NewEnv()
+	r := New(env, smallConfig(ModeCPUOnly), newEchoApp(2))
+	for i := 0; i < 16; i++ {
+		c := &Chunk{OutPorts: make([]int, model.MaxChunkSize)}
+		for j := range c.OutPorts {
+			c.OutPorts[j] = 0x7ead // far beyond any real port
+		}
+		r.putChunk(c)
+	}
+	r.SetSource(seqSource{})
+	r.Start()
+	env.Run(sim.Time(2 * sim.Millisecond))
+	if r.Stats.ChunkReuses == 0 {
+		t.Fatal("free list never used; test exercised nothing")
+	}
+	if _, _, tx, _ := r.Engine.AggregateStats(); tx == 0 {
+		t.Error("nothing transmitted")
+	}
+}

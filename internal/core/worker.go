@@ -155,11 +155,11 @@ func (w *worker) fetchChunk(p *sim.Proc) *Chunk {
 			continue
 		}
 		c.Bufs = bufs
+		// OutPorts is NOT cleared: every App's PreShade writes every slot
+		// (part of the App contract, pinned by tests), so recycled chunks
+		// cannot leak stale forwarding decisions.
 		if n := len(bufs); n <= cap(c.OutPorts) {
 			c.OutPorts = c.OutPorts[:n]
-			for i := range c.OutPorts {
-				c.OutPorts[i] = 0
-			}
 		} else {
 			c.OutPorts = make([]int, n)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"packetshader/internal/apps"
 	"packetshader/internal/core"
@@ -155,6 +156,9 @@ type ofSource struct {
 	// missEvery-th flow is NOT installed in the exact table, forcing a
 	// wildcard lookup (0 disables misses).
 	missEvery int
+
+	once sync.Once
+	tmpl *packet.UDP4Template
 }
 
 // flowTuple returns the deterministic 5-tuple of flow (port, idx).
@@ -178,8 +182,11 @@ func (s *ofSource) Fill(b *packet.Buf, port, queue int, seq uint64) {
 	h := splitmix64ExpSeed(s.seed^0xabcd, uint64(port)<<56|uint64(queue)<<48|seq)
 	idx := int(h % uint64(s.flowsPerPort))
 	src, dst, sp, dp := s.flowTuple(port, idx)
-	frame := packet.BuildUDP4(b.Data[:cap(b.Data)], s.size,
-		packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, src, dst, sp, dp)
+	s.once.Do(func() {
+		s.tmpl = packet.NewUDP4Template(s.size,
+			packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2})
+	})
+	frame := s.tmpl.Render(b.Data[:cap(b.Data)], src, dst, sp, dp)
 	b.Data = frame
 	b.Hash = nic.RSSHashIPv4(nic.DefaultRSSKey[:], uint32(src), uint32(dst), sp, dp)
 }

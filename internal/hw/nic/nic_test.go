@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -51,6 +52,66 @@ func TestToeplitzDistribution(t *testing.T) {
 	for q, c := range counts {
 		if c < n/queues/2 || c > n/queues*2 {
 			t.Errorf("queue %d got %d of %d (poor spread)", q, c, n)
+		}
+	}
+}
+
+// TestToeplitzLUTMatchesBitSerial is the differential contract of the
+// table-driven hash: for random keys, input lengths and tuples, the LUT
+// path must equal the bit-serial reference bit for bit.
+func TestToeplitzLUTMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 64; trial++ {
+		key := make([]byte, 40)
+		rng.Read(key)
+		for _, n := range []int{1, 4, 12, 16, 36} {
+			lut := NewToeplitzLUT(key, n)
+			in := make([]byte, n)
+			for round := 0; round < 32; round++ {
+				rng.Read(in)
+				if got, want := lut.Hash(in), ToeplitzHash(key, in); got != want {
+					t.Fatalf("key %x input %x: LUT %#08x, bit-serial %#08x",
+						key, in, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRSSHashIPv4LUTMatchesBitSerial pins the per-packet fast path:
+// RSSHashIPv4 with the default key (LUT) against the bit-serial
+// reference over random tuples, plus a non-default key exercising the
+// fallback.
+func TestRSSHashIPv4LUTMatchesBitSerial(t *testing.T) {
+	ref := func(key []byte, srcIP, dstIP uint32, sp, dp uint16) uint32 {
+		var in [12]byte
+		binary.BigEndian.PutUint32(in[0:4], srcIP)
+		binary.BigEndian.PutUint32(in[4:8], dstIP)
+		binary.BigEndian.PutUint16(in[8:10], sp)
+		binary.BigEndian.PutUint16(in[10:12], dp)
+		return ToeplitzHash(key, in[:])
+	}
+	rng := rand.New(rand.NewSource(7))
+	altKey := make([]byte, 40)
+	rng.Read(altKey)
+	for i := 0; i < 4096; i++ {
+		srcIP, dstIP := rng.Uint32(), rng.Uint32()
+		sp, dp := uint16(rng.Uint32()), uint16(rng.Uint32())
+		if got, want := RSSHashIPv4(DefaultRSSKey[:], srcIP, dstIP, sp, dp),
+			ref(DefaultRSSKey[:], srcIP, dstIP, sp, dp); got != want {
+			t.Fatalf("default key tuple %d: got %#08x, want %#08x", i, got, want)
+		}
+		if got, want := RSSHashIPv4(altKey, srcIP, dstIP, sp, dp),
+			ref(altKey, srcIP, dstIP, sp, dp); got != want {
+			t.Fatalf("alt key tuple %d: got %#08x, want %#08x", i, got, want)
+		}
+	}
+	// Edge tuples: all-zero and all-ones inputs.
+	for _, v := range []uint32{0, 0xffffffff} {
+		p := uint16(v)
+		if got, want := RSSHashIPv4(DefaultRSSKey[:], v, v, p, p),
+			ref(DefaultRSSKey[:], v, v, p, p); got != want {
+			t.Fatalf("edge tuple %#x: got %#08x, want %#08x", v, got, want)
 		}
 	}
 }

@@ -32,6 +32,9 @@ type RxQueue struct {
 	rate    float64 // offered packets/s for this queue
 	pktSize int
 	src     FrameSource
+	// spacing memoizes DurationFromSeconds(1/rate): Fetch needs it per
+	// call and the rate only changes in SetOffered.
+	spacing sim.Duration
 
 	lastUpd sim.Time
 	occ     float64 // packets waiting (fractional accumulation)
@@ -100,6 +103,10 @@ func (q *RxQueue) SetOffered(rate float64, pktSize int, src FrameSource) {
 	q.rate = rate
 	q.pktSize = pktSize
 	q.src = src
+	q.spacing = 0
+	if rate > 0 {
+		q.spacing = sim.DurationFromSeconds(1 / rate)
+	}
 }
 
 // SetDMAPath replaces the DMA path (placement-policy ablations).
@@ -194,10 +201,7 @@ func (q *RxQueue) Fetch(p *sim.Proc, max int, out []*packet.Buf) []*packet.Buf {
 		return out
 	}
 	now := q.env.Now()
-	spacing := sim.Duration(0)
-	if q.rate > 0 {
-		spacing = sim.DurationFromSeconds(1 / q.rate)
-	}
+	spacing := q.spacing
 	for i := 0; i < n; i++ {
 		b := q.pool.Get(q.pktSize)
 		b.Port = q.Port

@@ -5,7 +5,10 @@
 // rate including the 24B Ethernet overhead.
 package nic
 
-import "encoding/binary"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // DefaultRSSKey is the 40-byte Toeplitz key from Microsoft's RSS
 // specification (the key the ixgbe driver programs by default).
@@ -21,6 +24,10 @@ var DefaultRSSKey = [40]byte{
 // concatenated 5-tuple fields in network order, per the RSS spec). For
 // each set bit i of the input (MSB first), the 32-bit key window
 // starting at bit i is XORed into the result.
+//
+// This is the bit-serial reference implementation; the per-packet path
+// goes through the precomputed lookup tables of ToeplitzLUT (identical
+// hashes, enforced by a differential test).
 func ToeplitzHash(key []byte, input []byte) uint32 {
 	keyBit := func(i int) uint64 {
 		if i >= len(key)*8 {
@@ -47,9 +54,81 @@ func ToeplitzHash(key []byte, input []byte) uint32 {
 	return result
 }
 
+// ToeplitzLUT is a table-driven Toeplitz hasher for a fixed key and
+// input length: the hash is GF(2)-linear in the input bits, so the
+// contribution of byte position p holding value v can be precomputed
+// once into lut[p][v], turning the per-packet bit-serial loop into one
+// table lookup and XOR per input byte.
+type ToeplitzLUT struct {
+	lut [][256]uint32
+}
+
+// NewToeplitzLUT precomputes the per-byte-position tables for hashing
+// inputLen-byte inputs under key.
+func NewToeplitzLUT(key []byte, inputLen int) *ToeplitzLUT {
+	keyBit := func(i int) uint32 {
+		if i >= len(key)*8 {
+			return 0
+		}
+		return uint32(key[i/8]>>(7-i%8)) & 1
+	}
+	// window(k) = key bits [k, k+32), the value XORed in when input bit
+	// k (MSB-first across the whole input) is set.
+	window := func(k int) uint32 {
+		var w uint32
+		for i := 0; i < 32; i++ {
+			w = w<<1 | keyBit(k+i)
+		}
+		return w
+	}
+	t := &ToeplitzLUT{lut: make([][256]uint32, inputLen)}
+	for p := 0; p < inputLen; p++ {
+		var bitContrib [8]uint32
+		for bit := 0; bit < 8; bit++ {
+			bitContrib[bit] = window(p*8 + bit)
+		}
+		for v := 0; v < 256; v++ {
+			var h uint32
+			for bit := 0; bit < 8; bit++ {
+				if v&(0x80>>bit) != 0 {
+					h ^= bitContrib[bit]
+				}
+			}
+			t.lut[p][v] = h
+		}
+	}
+	return t
+}
+
+// Hash computes the Toeplitz hash of input (len(input) must not exceed
+// the table's input length).
+func (t *ToeplitzLUT) Hash(input []byte) uint32 {
+	var h uint32
+	for p, b := range input {
+		h ^= t.lut[p][b]
+	}
+	return h
+}
+
+// defaultRSSLUT serves RSSHashIPv4 for the default key: built once at
+// init, read-only afterwards. 12 positions x 256 entries x 4B = 12 KiB,
+// comfortably cache-resident.
+var defaultRSSLUT = NewToeplitzLUT(DefaultRSSKey[:], 12)
+
 // RSSHashIPv4 computes the RSS hash over the IPv4/UDP-or-TCP 5-tuple
-// (12-byte input: src IP, dst IP, src port, dst port).
+// (12-byte input: src IP, dst IP, src port, dst port). The default key
+// takes the precomputed-table path; other keys fall back to the
+// bit-serial reference.
 func RSSHashIPv4(key []byte, srcIP, dstIP uint32, srcPort, dstPort uint16) uint32 {
+	if bytes.Equal(key, DefaultRSSKey[:]) {
+		l := defaultRSSLUT.lut
+		return l[0][byte(srcIP>>24)] ^ l[1][byte(srcIP>>16)] ^
+			l[2][byte(srcIP>>8)] ^ l[3][byte(srcIP)] ^
+			l[4][byte(dstIP>>24)] ^ l[5][byte(dstIP>>16)] ^
+			l[6][byte(dstIP>>8)] ^ l[7][byte(dstIP)] ^
+			l[8][byte(srcPort>>8)] ^ l[9][byte(srcPort)] ^
+			l[10][byte(dstPort>>8)] ^ l[11][byte(dstPort)]
+	}
 	var in [12]byte
 	binary.BigEndian.PutUint32(in[0:4], srcIP)
 	binary.BigEndian.PutUint32(in[4:8], dstIP)

@@ -42,12 +42,54 @@ func NewIOH(env *sim.Env, node int) *IOH {
 	}
 }
 
-func upTime(bytes int) sim.Duration {
+// Per-byte-count transfer-time tables: the NIC TX path schedules one
+// down-transfer per packet, so the math.Round inside DurationFromSeconds
+// dominated CPU profiles. The tables cover every per-packet byte count
+// (frame + descriptor); larger (batched) transfers fall through to the
+// reference expressions. Built once at init from those same expressions,
+// so every memoized value is bit-identical; read-only afterwards.
+const timeLUTBytes = 4096
+
+var upTimeLUT, downTimeLUT, kappaUpTimeLUT = func() (up, down, kup []sim.Duration) {
+	up = make([]sim.Duration, timeLUTBytes)
+	down = make([]sim.Duration, timeLUTBytes)
+	kup = make([]sim.Duration, timeLUTBytes)
+	for b := range up {
+		up[b] = upTimeSlow(b)
+		down[b] = downTimeSlow(b)
+		kup[b] = sim.Duration(model.IOHKappa * float64(up[b]))
+	}
+	return
+}()
+
+func upTimeSlow(bytes int) sim.Duration {
 	return sim.DurationFromSeconds(float64(bytes) / model.IOHUpBps)
 }
 
-func downTime(bytes int) sim.Duration {
+func downTimeSlow(bytes int) sim.Duration {
 	return sim.DurationFromSeconds(float64(bytes) / model.IOHDownBps)
+}
+
+func upTime(bytes int) sim.Duration {
+	if bytes >= 0 && bytes < timeLUTBytes {
+		return upTimeLUT[bytes]
+	}
+	return upTimeSlow(bytes)
+}
+
+func downTime(bytes int) sim.Duration {
+	if bytes >= 0 && bytes < timeLUTBytes {
+		return downTimeLUT[bytes]
+	}
+	return downTimeSlow(bytes)
+}
+
+// kappaUpTime is the coupled return-path charge of a down transfer.
+func kappaUpTime(bytes int) sim.Duration {
+	if bytes >= 0 && bytes < timeLUTBytes {
+		return kappaUpTimeLUT[bytes]
+	}
+	return sim.Duration(model.IOHKappa * float64(upTime(bytes)))
 }
 
 // ScheduleUp reserves FIFO fabric time for a device→host transfer and
@@ -59,7 +101,7 @@ func (i *IOH) ScheduleUp(bytes int) sim.Time {
 // ScheduleDown reserves FIFO fabric time for a host→device transfer.
 // The coupled return-path cost is charged to the up engine.
 func (i *IOH) ScheduleDown(bytes int) sim.Time {
-	i.up.Schedule(sim.Duration(model.IOHKappa * float64(upTime(bytes))))
+	i.up.Schedule(kappaUpTime(bytes))
 	return i.down.Schedule(downTime(bytes))
 }
 
@@ -73,7 +115,7 @@ func (i *IOH) ExpressUp(bytes int) sim.Time {
 
 // ExpressDown is the host→device express path.
 func (i *IOH) ExpressDown(bytes int) sim.Time {
-	i.up.Schedule(sim.Duration(model.IOHKappa * float64(upTime(bytes))))
+	i.up.Schedule(kappaUpTime(bytes))
 	t := downTime(bytes)
 	i.down.Schedule(t)
 	return i.down.Now() + sim.Time(t)

@@ -7,7 +7,6 @@ package ipv4
 
 import (
 	"errors"
-	"sort"
 
 	"packetshader/internal/packet"
 	"packetshader/internal/route"
@@ -17,10 +16,14 @@ const (
 	tbl24Size = 1 << 24
 	// longFlag marks a TBL24 entry as a pointer into TBLlong.
 	longFlag = 0x8000
-	// missEntry is the in-table miss sentinel (next hops must be below).
-	missEntry = 0x7fff
-	// MaxNextHop is the largest next-hop index the encoding can store.
-	MaxNextHop = missEntry - 1
+	// missEntry is the in-table miss sentinel. Next hops are stored
+	// biased by one so the sentinel is the ZERO value: a fresh table is
+	// all-miss straight out of make(), sparing Build a 16M-cell fill
+	// that dominated table-construction CPU profiles.
+	missEntry = 0
+	// MaxNextHop is the largest next-hop index the 15-bit biased
+	// encoding can store (hop+1 must stay below longFlag).
+	MaxNextHop = 0x7ffe
 )
 
 // ErrNextHopRange reports a next hop too large for the 15-bit encoding.
@@ -42,16 +45,25 @@ type Table struct {
 // Build constructs a Table from a route set. Entries may arrive in any
 // order; longer prefixes take precedence, as LPM requires.
 func Build(entries []route.Entry) (*Table, error) {
-	sorted := make([]route.Entry, len(entries))
-	copy(sorted, entries)
-	// Insert shortest first so longer prefixes overwrite.
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].Prefix.Len < sorted[j].Prefix.Len
-	})
-	t := &Table{tbl24: make([]uint16, tbl24Size)}
-	for i := range t.tbl24 {
-		t.tbl24[i] = missEntry
+	// Insert shortest first so longer prefixes overwrite. A counting
+	// sort over the 33 possible lengths is stable (order within a length
+	// is preserved), so the insertion order — and the built table — is
+	// exactly what sort.SliceStable produced, without the reflection
+	// overhead that showed in Build profiles.
+	var byLen [33]int
+	for _, e := range entries {
+		byLen[e.Prefix.Len]++
 	}
+	offs := 0
+	for l := range byLen {
+		offs, byLen[l] = offs+byLen[l], offs
+	}
+	sorted := make([]route.Entry, len(entries))
+	for _, e := range entries {
+		sorted[byLen[e.Prefix.Len]] = e
+		byLen[e.Prefix.Len]++
+	}
+	t := &Table{tbl24: make([]uint16, tbl24Size)}
 	for _, e := range sorted {
 		if e.NextHop > MaxNextHop {
 			return nil, ErrNextHopRange
@@ -86,12 +98,12 @@ func (t *Table) insertShort(e route.Entry) {
 			seg := int(cur&^uint16(longFlag)) << 8
 			for j := 0; j < 256; j++ {
 				if t.tblLong[seg+j] == missEntry {
-					t.tblLong[seg+j] = e.NextHop
+					t.tblLong[seg+j] = e.NextHop + 1
 				}
 			}
 			continue
 		}
-		t.tbl24[idx] = e.NextHop
+		t.tbl24[idx] = e.NextHop + 1
 	}
 }
 
@@ -117,7 +129,7 @@ func (t *Table) insertLong(e route.Entry) error {
 	low := uint32(e.Prefix.Addr) & 0xff
 	count := uint32(1) << (32 - e.Prefix.Len)
 	for j := uint32(0); j < count; j++ {
-		t.tblLong[seg+int(low+j)] = e.NextHop
+		t.tblLong[seg+int(low+j)] = e.NextHop + 1
 	}
 	return nil
 }
@@ -136,13 +148,13 @@ func (t *Table) LookupCounted(addr packet.IPv4Addr) (uint16, int) {
 		if e == missEntry {
 			return route.NoRoute, 1
 		}
-		return e, 1
+		return e - 1, 1
 	}
 	v := t.tblLong[int(e&^uint16(longFlag))<<8|int(addr&0xff)]
 	if v == missEntry {
 		return route.NoRoute, 2
 	}
-	return v, 2
+	return v - 1, 2
 }
 
 // LookupBatch resolves a batch of destination addresses into hops. This

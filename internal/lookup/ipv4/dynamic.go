@@ -66,7 +66,7 @@ func (d *DynamicTable) refresh(p route.Prefix) error {
 			if !ok {
 				d.tbl24[block] = missEntry
 			} else {
-				d.tbl24[block] = hop
+				d.tbl24[block] = hop + 1
 			}
 		}
 		return nil
@@ -103,7 +103,7 @@ func (d *DynamicTable) refreshRange(block, low, count uint32) {
 		if !ok {
 			d.tblLong[seg+int(low+j)] = missEntry
 		} else {
-			d.tblLong[seg+int(low+j)] = hop
+			d.tblLong[seg+int(low+j)] = hop + 1
 		}
 	}
 }

@@ -83,10 +83,29 @@ const (
 // WireBytes returns bytes of wire time for a packet of the given size.
 func WireBytes(pktSize int) int { return pktSize + EthOverheadBytes }
 
-// WireTime returns the serialization time of one packet on a 10GbE link.
-func WireTime(pktSize int) sim.Duration {
+// wireTimeLUT memoizes WireTime for every buffer-sized packet: the TX
+// path asks per packet, and the float conversion showed up in CPU
+// profiles. Built once at init from the reference expression (so values
+// are bit-identical), read-only afterwards.
+var wireTimeLUT = func() []sim.Duration {
+	t := make([]sim.Duration, HugeCellDataBytes+1)
+	for size := range t {
+		t[size] = wireTimeSlow(size)
+	}
+	return t
+}()
+
+func wireTimeSlow(pktSize int) sim.Duration {
 	bits := float64(WireBytes(pktSize)) * 8
 	return sim.Duration(bits / PortRateBps * float64(sim.Second))
+}
+
+// WireTime returns the serialization time of one packet on a 10GbE link.
+func WireTime(pktSize int) sim.Duration {
+	if pktSize >= 0 && pktSize < len(wireTimeLUT) {
+		return wireTimeLUT[pktSize]
+	}
+	return wireTimeSlow(pktSize)
 }
 
 // PortPacketRate returns the line-rate packet rate of one port (pps).

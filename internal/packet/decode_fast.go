@@ -1,0 +1,128 @@
+package packet
+
+import "encoding/binary"
+
+// DecodeFast is the common-case decode path for the data plane: an
+// untagged Ethernet frame carrying an optionless IPv4 header with UDP
+// or ESP inside (or an IPv6 fixed header with UDP), parsed in one
+// bounds-checked pass. Anything unusual — VLAN tags, IP options, other
+// protocols, short or malformed frames — delegates to the full Decode
+// before any Decoder state is written, so the resulting state (headers,
+// Decoded list, Payload, error) is identical to Decode on every input.
+// The equivalence is enforced by a differential corpus test.
+func (d *Decoder) DecodeFast(frame []byte) error {
+	if len(frame) < EthHdrLen+IPv4HdrLen+UDPHdrLen {
+		return d.Decode(frame)
+	}
+	et := binary.BigEndian.Uint16(frame[12:14])
+	switch et {
+	case EtherTypeIPv4:
+		if frame[EthHdrLen] != 0x45 { // version 4, IHL 5: no options
+			return d.Decode(frame)
+		}
+		ip := frame[EthHdrLen:]
+		totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+		if totalLen < IPv4HdrLen {
+			return d.Decode(frame)
+		}
+		end := totalLen
+		if end > len(ip) {
+			end = len(ip)
+		}
+		l4 := ip[IPv4HdrLen:end]
+		switch ip[9] {
+		case ProtoUDP:
+			if len(l4) < UDPHdrLen {
+				return d.Decode(frame)
+			}
+			ulen := int(binary.BigEndian.Uint16(l4[4:6]))
+			if ulen < UDPHdrLen {
+				return d.Decode(frame)
+			}
+			uend := ulen
+			if uend > len(l4) {
+				uend = len(l4)
+			}
+			d.decodeEthIPv4(frame, ip)
+			d.UDP.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+			d.UDP.DstPort = binary.BigEndian.Uint16(l4[2:4])
+			d.UDP.Length = uint16(ulen)
+			d.UDP.Checksum = binary.BigEndian.Uint16(l4[6:8])
+			d.Decoded = append(d.Decoded, LayerUDP)
+			d.Payload = l4[UDPHdrLen:uend]
+			return nil
+		case ProtoESP:
+			d.decodeEthIPv4(frame, ip)
+			d.Decoded = append(d.Decoded, LayerESP)
+			d.Payload = l4
+			return nil
+		}
+		return d.Decode(frame)
+	case EtherTypeIPv6:
+		if len(frame) < EthHdrLen+IPv6HdrLen+UDPHdrLen || frame[EthHdrLen]>>4 != 6 ||
+			frame[EthHdrLen+6] != ProtoUDP {
+			return d.Decode(frame)
+		}
+		ip := frame[EthHdrLen:]
+		plen := int(binary.BigEndian.Uint16(ip[4:6]))
+		end := IPv6HdrLen + plen
+		if end > len(ip) {
+			end = len(ip)
+		}
+		l4 := ip[IPv6HdrLen:end]
+		if len(l4) < UDPHdrLen {
+			return d.Decode(frame)
+		}
+		ulen := int(binary.BigEndian.Uint16(l4[4:6]))
+		if ulen < UDPHdrLen {
+			return d.Decode(frame)
+		}
+		uend := ulen
+		if uend > len(l4) {
+			uend = len(l4)
+		}
+		d.Decoded = d.scratch[:0]
+		d.VLANID = VLANNone
+		copy(d.Eth.Dst[:], frame[0:6])
+		copy(d.Eth.Src[:], frame[6:12])
+		d.Eth.EtherType = et
+		vtf := binary.BigEndian.Uint32(ip[0:4])
+		d.IPv6.TrafficClass = uint8(vtf >> 20)
+		d.IPv6.FlowLabel = vtf & 0xfffff
+		d.IPv6.PayloadLen = uint16(plen)
+		d.IPv6.NextHeader = ip[6]
+		d.IPv6.HopLimit = ip[7]
+		copy(d.IPv6.Src[:], ip[8:24])
+		copy(d.IPv6.Dst[:], ip[24:40])
+		d.UDP.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		d.UDP.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		d.UDP.Length = uint16(ulen)
+		d.UDP.Checksum = binary.BigEndian.Uint16(l4[6:8])
+		d.Decoded = append(d.scratch[:0], LayerEthernet, LayerIPv6, LayerUDP)
+		d.Payload = l4[UDPHdrLen:uend]
+		return nil
+	}
+	return d.Decode(frame)
+}
+
+// decodeEthIPv4 fills the Ethernet and optionless-IPv4 state for the
+// fast path (callers have already validated the frame).
+func (d *Decoder) decodeEthIPv4(frame, ip []byte) {
+	d.Decoded = append(d.scratch[:0], LayerEthernet, LayerIPv4)
+	d.VLANID = VLANNone
+	copy(d.Eth.Dst[:], frame[0:6])
+	copy(d.Eth.Src[:], frame[6:12])
+	d.Eth.EtherType = EtherTypeIPv4
+	d.IPv4.IHL = 5
+	d.IPv4.TOS = ip[1]
+	d.IPv4.TotalLen = binary.BigEndian.Uint16(ip[2:4])
+	d.IPv4.ID = binary.BigEndian.Uint16(ip[4:6])
+	ff := binary.BigEndian.Uint16(ip[6:8])
+	d.IPv4.Flags = uint8(ff >> 13)
+	d.IPv4.FragOff = ff & 0x1fff
+	d.IPv4.TTL = ip[8]
+	d.IPv4.Protocol = ip[9]
+	d.IPv4.Checksum = binary.BigEndian.Uint16(ip[10:12])
+	d.IPv4.Src = IPv4AddrFrom(ip[12:16])
+	d.IPv4.Dst = IPv4AddrFrom(ip[16:20])
+}

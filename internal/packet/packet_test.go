@@ -2,7 +2,9 @@ package packet
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -506,5 +508,167 @@ func TestDecoderBogusLengthFields(t *testing.T) {
 	}
 	if len(d.Payload) > len(frame) {
 		t.Errorf("payload %d longer than frame %d", len(d.Payload), len(frame))
+	}
+}
+
+// TestUDP4TemplateByteIdentical is the differential contract of
+// template-based frame synthesis: for every size class and a large
+// random flow corpus (plus checksum-folding edge addresses), the
+// rendered frame must equal a fresh BuildUDP4 byte for byte — including
+// the bytes beyond the frame, which neither path may touch.
+func TestUDP4TemplateByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sizes := []int{0, 41, 42, 60, 64, 65, 128, 256, 511, 1024, 1514}
+	for _, size := range sizes {
+		tmpl := NewUDP4Template(size, testSrcMAC, testDstMAC)
+		var got, want [2048]byte
+		check := func(src, dst IPv4Addr, sp, dp uint16) {
+			for i := range got {
+				got[i], want[i] = 0xA5, 0xA5
+			}
+			g := tmpl.Render(got[:], src, dst, sp, dp)
+			w := BuildUDP4(want[:], size, testSrcMAC, testDstMAC, src, dst, sp, dp)
+			if len(g) != len(w) {
+				t.Fatalf("size %d: len %d != %d", size, len(g), len(w))
+			}
+			if got != want {
+				t.Fatalf("size %d src %v dst %v ports %d/%d: frames differ", size, src, dst, sp, dp)
+			}
+			if !VerifyIPv4Checksum(g[EthHdrLen:]) {
+				t.Fatalf("size %d: rendered checksum invalid", size)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			check(IPv4Addr(rng.Uint32()), IPv4Addr(rng.Uint32()),
+				uint16(rng.Uint32()), uint16(rng.Uint32()))
+		}
+		// Folding edges: zero, all-ones, and half-word patterns that push
+		// the ones-complement sum to its carry boundaries.
+		edges := []uint32{0, 0xffffffff, 0xffff0000, 0x0000ffff, 0x00010000, 0xfffeffff}
+		for _, s := range edges {
+			for _, d := range edges {
+				check(IPv4Addr(s), IPv4Addr(d), 0, 0)
+				check(IPv4Addr(s), IPv4Addr(d), 0xffff, 0xffff)
+			}
+		}
+	}
+}
+
+// TestUDP6TemplateByteIdentical is the IPv6 differential contract.
+func TestUDP6TemplateByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, size := range []int{0, 61, 62, 64, 128, 777, 1514} {
+		tmpl := NewUDP6Template(size, testSrcMAC, testDstMAC)
+		var got, want [2048]byte
+		for i := 0; i < 300; i++ {
+			src := IPv6AddrFromParts(rng.Uint64(), rng.Uint64())
+			dst := IPv6AddrFromParts(rng.Uint64(), rng.Uint64())
+			sp, dp := uint16(rng.Uint32()), uint16(rng.Uint32())
+			for j := range got {
+				got[j], want[j] = 0x5A, 0x5A
+			}
+			g := tmpl.Render(got[:], src, dst, sp, dp)
+			w := BuildUDP6(want[:], size, testSrcMAC, testDstMAC, src, dst, sp, dp)
+			if len(g) != len(w) || got != want {
+				t.Fatalf("size %d iter %d: frames differ", size, i)
+			}
+		}
+	}
+}
+
+// decodeBoth runs Decode and DecodeFast on fresh Decoders and fails if
+// any resulting state (headers, Decoded, Payload, error) differs.
+func decodeBoth(t *testing.T, frame []byte, label string) {
+	t.Helper()
+	var slow, fast Decoder
+	errS := slow.Decode(frame)
+	errF := fast.DecodeFast(frame)
+	if (errS == nil) != (errF == nil) || (errS != nil && errS.Error() != errF.Error()) {
+		t.Fatalf("%s: error %v != %v", label, errS, errF)
+	}
+	// Zero the scratch arrays: they are backing storage, not state, and
+	// may hold different residue beyond len(Decoded).
+	slow.scratch, fast.scratch = [8]Layer{}, [8]Layer{}
+	if !reflect.DeepEqual(slow, fast) {
+		t.Fatalf("%s: decoder state differs\n slow: %+v\n fast: %+v", label, slow, fast)
+	}
+}
+
+// TestDecodeFastMatchesDecode is the differential contract of the fast
+// path: identical observable state on a corpus of well-formed frames,
+// every truncation of them, and systematically malformed variants.
+func TestDecodeFastMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var buf [2048]byte
+	var corpus [][]byte
+	add := func(f []byte) {
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		corpus = append(corpus, cp)
+	}
+	// Well-formed UDP over IPv4 and IPv6 at assorted sizes.
+	for _, size := range []int{42, 60, 64, 65, 128, 1514} {
+		add(BuildUDP4(buf[:], size, testSrcMAC, testDstMAC,
+			IPv4Addr(rng.Uint32()), IPv4Addr(rng.Uint32()),
+			uint16(rng.Uint32()), uint16(rng.Uint32())))
+	}
+	for _, size := range []int{62, 78, 128, 1514} {
+		add(BuildUDP6(buf[:], size, testSrcMAC, testDstMAC,
+			IPv6AddrFromParts(rng.Uint64(), rng.Uint64()),
+			IPv6AddrFromParts(rng.Uint64(), rng.Uint64()),
+			uint16(rng.Uint32()), uint16(rng.Uint32())))
+	}
+	base := BuildUDP4(buf[:], 100, testSrcMAC, testDstMAC, 1, 2, 3, 4)
+	// Malformed / uncommon variants of the base frame.
+	mutate := func(f func(m []byte)) {
+		m := make([]byte, len(base))
+		copy(m, base)
+		f(m)
+		corpus = append(corpus, m)
+	}
+	mutate(func(m []byte) { m[14] = 0x46 })                                  // IHL 6: options
+	mutate(func(m []byte) { m[14] = 0x4f })                                  // IHL 15 > frame
+	mutate(func(m []byte) { m[14] = 0x55 })                                  // version 5
+	mutate(func(m []byte) { m[14] = 0x65 })                                  // version 6 in IPv4 ethertype
+	mutate(func(m []byte) { m[23] = ProtoTCP })                              // TCP (stale checksum: fine, not verified)
+	mutate(func(m []byte) { m[23] = ProtoESP })                              // ESP
+	mutate(func(m []byte) { m[23] = 0x2f })                                  // GRE: unknown L4
+	mutate(func(m []byte) { m[12], m[13] = 0x81, 0x00 })                     // VLAN tag where IPv4 was
+	mutate(func(m []byte) { m[12], m[13] = 0x08, 0x06 })                     // ARP ethertype
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[16:18], 0xffff) })  // IPv4 TotalLen giant
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[16:18], 10) })      // TotalLen < header
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[16:18], 21) })      // TotalLen 21: 1-byte L4
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[16:18], 28) })      // TotalLen == hdrs only
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[38:40], 0xffff) })  // UDP length giant
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[38:40], 3) })       // UDP length < 8
+	mutate(func(m []byte) { binary.BigEndian.PutUint16(m[38:40], 8) })       // UDP empty payload
+	// IPv6 variants.
+	base6 := BuildUDP6(buf[:], 100, testSrcMAC, testDstMAC,
+		IPv6AddrFromParts(1, 2), IPv6AddrFromParts(3, 4), 5, 6)
+	mutate6 := func(f func(m []byte)) {
+		m := make([]byte, len(base6))
+		copy(m, base6)
+		f(m)
+		corpus = append(corpus, m)
+	}
+	mutate6(func(m []byte) { m[14] = 0x45 })                                 // version 4 in IPv6 ethertype
+	mutate6(func(m []byte) { m[20] = ProtoTCP })                             // TCP next header
+	mutate6(func(m []byte) { m[20] = 0x3b })                                 // no next header
+	mutate6(func(m []byte) { binary.BigEndian.PutUint16(m[18:20], 0xffff) }) // PayloadLen giant
+	mutate6(func(m []byte) { binary.BigEndian.PutUint16(m[18:20], 0) })      // PayloadLen zero
+	mutate6(func(m []byte) { binary.BigEndian.PutUint16(m[54:56], 0xffff) }) // UDP length giant
+	mutate6(func(m []byte) { binary.BigEndian.PutUint16(m[54:56], 2) })      // UDP length < 8
+	// Random garbage.
+	for i := 0; i < 64; i++ {
+		g := make([]byte, rng.Intn(200))
+		rng.Read(g)
+		corpus = append(corpus, g)
+	}
+	for ci, f := range corpus {
+		decodeBoth(t, f, fmt.Sprintf("corpus[%d]", ci))
+		// Every truncation of every corpus entry.
+		for n := 0; n <= len(f); n++ {
+			decodeBoth(t, f[:n], fmt.Sprintf("corpus[%d][:%d]", ci, n))
+		}
 	}
 }

@@ -7,6 +7,7 @@ package pktgen
 
 import (
 	"math"
+	"sync"
 
 	"packetshader/internal/hw/nic"
 	"packetshader/internal/packet"
@@ -40,10 +41,17 @@ type UDP4Source struct {
 	// Stamp embeds the generation timestamp in the payload when the
 	// frame has room (latency experiments).
 	Stamp bool
+
+	// tmpl is the prebuilt frame template, constructed lazily under
+	// once: sources are shared by every RX queue's fetch proc, and
+	// sync.Once-built state stays read-only across procs.
+	once sync.Once
+	tmpl *packet.UDP4Template
 }
 
 // Fill implements nic.FrameSource.
 func (s *UDP4Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
+	s.once.Do(func() { s.tmpl = packet.NewUDP4Template(s.Size, genSrcMAC, genDstMAC) })
 	r := splitmix64(s.Seed ^ uint64(port)<<48 ^ uint64(queue)<<40 ^ seq)
 	r2 := splitmix64(r)
 	var dst packet.IPv4Addr
@@ -55,8 +63,7 @@ func (s *UDP4Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
 		dst = packet.IPv4Addr(uint32(r))
 	}
 	src := packet.IPv4Addr(uint32(r2 >> 32))
-	frame := packet.BuildUDP4(b.Data[:cap(b.Data)], s.Size, genSrcMAC, genDstMAC,
-		src, dst, uint16(r2>>16), uint16(r2))
+	frame := s.tmpl.Render(b.Data[:cap(b.Data)], src, dst, uint16(r2>>16), uint16(r2))
 	b.Data = frame
 	b.Hash = nic.RSSHashIPv4(nic.DefaultRSSKey[:], uint32(src), uint32(dst),
 		uint16(r2>>16), uint16(r2))
@@ -71,10 +78,14 @@ type UDP6Source struct {
 	Size  int
 	Seed  uint64
 	Table []route.Entry6
+
+	once sync.Once
+	tmpl *packet.UDP6Template
 }
 
 // Fill implements nic.FrameSource.
 func (s *UDP6Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
+	s.once.Do(func() { s.tmpl = packet.NewUDP6Template(s.Size, genSrcMAC, genDstMAC) })
 	r := splitmix64(s.Seed ^ uint64(port)<<48 ^ uint64(queue)<<40 ^ seq)
 	r2 := splitmix64(r)
 	r3 := splitmix64(r2)
@@ -87,8 +98,7 @@ func (s *UDP6Source) Fill(b *packet.Buf, port, queue int, seq uint64) {
 		dst = packet.IPv6AddrFromParts(r2, r3)
 	}
 	src := packet.IPv6AddrFromParts(0x2001_0db8_0000_0000|r>>32, r)
-	frame := packet.BuildUDP6(b.Data[:cap(b.Data)], s.Size, genSrcMAC, genDstMAC,
-		src, dst, uint16(r3>>16), uint16(r3))
+	frame := s.tmpl.Render(b.Data[:cap(b.Data)], src, dst, uint16(r3>>16), uint16(r3))
 	b.Data = frame
 }
 

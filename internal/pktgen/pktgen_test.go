@@ -219,3 +219,61 @@ func TestReplaySourceFramesParse(t *testing.T) {
 		}
 	}
 }
+
+// TestSourcesMatchDirectBuild is the generator-level differential
+// contract: the templated Fill path must emit exactly the bytes the
+// direct BuildUDP4/BuildUDP6 construction emits for the same
+// (port, queue, seq), across sizes, table/tableless flows, and both
+// source kinds.
+func TestSourcesMatchDirectBuild(t *testing.T) {
+	entries4 := route.GenerateBGPTable(500, 8, 3)
+	entries6 := route.GenerateIPv6Table(300, 8, 4)
+	buf := make([]byte, 2048)
+	for _, size := range []int{0, 60, 64, 65, 100, 1514} {
+		for _, tbl := range []bool{false, true} {
+			s4 := &UDP4Source{Size: size, Seed: 7}
+			s6 := &UDP6Source{Size: size, Seed: 7}
+			if tbl {
+				s4.Table = entries4
+				s6.Table = entries6
+			}
+			for i := 0; i < 200; i++ {
+				port, queue, seq := i%4, i%2, uint64(i)
+				b := mkBuf(2048)
+				s4.Fill(b, port, queue, seq)
+				r := splitmix64(s4.Seed ^ uint64(port)<<48 ^ uint64(queue)<<40 ^ seq)
+				r2 := splitmix64(r)
+				var dst packet.IPv4Addr
+				if tbl {
+					e := s4.Table[int(r%uint64(len(s4.Table)))]
+					dst = packet.IPv4Addr(uint32(e.Prefix.Addr) | uint32(r2)&^e.Prefix.Mask())
+				} else {
+					dst = packet.IPv4Addr(uint32(r))
+				}
+				want := packet.BuildUDP4(buf, size, genSrcMAC, genDstMAC,
+					packet.IPv4Addr(uint32(r2>>32)), dst, uint16(r2>>16), uint16(r2))
+				if !bytes.Equal(b.Data, want) {
+					t.Fatalf("UDP4 size %d tbl %v seq %d: templated frame differs from BuildUDP4", size, tbl, seq)
+				}
+
+				b6 := mkBuf(2048)
+				s6.Fill(b6, port, queue, seq)
+				r3 := splitmix64(r2)
+				var dst6 packet.IPv6Addr
+				if tbl {
+					e := s6.Table[int(r%uint64(len(s6.Table)))]
+					mh, ml := route.Mask6(e.Prefix6.Len)
+					dst6 = packet.IPv6AddrFromParts(e.Prefix6.Hi|(r2&^mh), e.Prefix6.Lo|(r3&^ml))
+				} else {
+					dst6 = packet.IPv6AddrFromParts(r2, r3)
+				}
+				want6 := packet.BuildUDP6(buf, size, genSrcMAC, genDstMAC,
+					packet.IPv6AddrFromParts(0x2001_0db8_0000_0000|r>>32, r), dst6,
+					uint16(r3>>16), uint16(r3))
+				if !bytes.Equal(b6.Data, want6) {
+					t.Fatalf("UDP6 size %d tbl %v seq %d: templated frame differs from BuildUDP6", size, tbl, seq)
+				}
+			}
+		}
+	}
+}

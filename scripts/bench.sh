@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh measures the simulator's host-side performance and records
-# the trajectory in BENCH_PR7.json:
+# the trajectory in BENCH_PR9.json:
 #
 #   - BenchmarkFig5Batch:     the packet-I/O engine hot path (8 batch
 #                             points x 20 simulated ms of single-core
@@ -26,8 +26,9 @@
 # Go benchmarks other than FabricWorkers run pinned to one worker (see
 # bench_test.go) so ns/op, B/op and allocs/op stay an apples-to-apples
 # measure of the engine hot path across PRs. The "baseline" block is
-# the PR 5 measurement (parallel harness, serial world) and is fixed;
-# "results" is refreshed on every run.
+# the PR 7 measurement (before the PR 9 per-packet hot-path work:
+# frame templates, LUT Toeplitz, fast decode, hoisted cycle
+# accounting) and is fixed; "results" is refreshed on every run.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
 set -eu
@@ -35,7 +36,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
-OUT="BENCH_PR7.json"
+OUT="BENCH_PR9.json"
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 echo "== go test -bench (benchtime=$BENCHTIME)"
@@ -94,18 +95,20 @@ END {
 	# Simulated virtual time advanced per benchmark iteration, in ns.
 	sim["BenchmarkFig5Batch"]     = 160000000  # 8 batch points x 20 ms
 	sim["BenchmarkRouterIPv4GPU"] = 1000000    # 1 ms per op
+	fabricSim = 50000000                       # 50 sim ms per fabric op
 
-	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 52522007, \"bytes_per_op\": 590193, \"allocs_per_op\": 1113 }"
-	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 75199239, \"bytes_per_op\": 1415149, \"allocs_per_op\": 2162 }"
+	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 60095139, \"bytes_per_op\": 586936, \"allocs_per_op\": 1113, \"sim_ns_per_wall_ns\": 2.662 }"
+	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 79463999, \"bytes_per_op\": 1415008, \"allocs_per_op\": 2162, \"sim_ns_per_wall_ns\": 0.013 }"
 
 	printf "{\n"
-	printf "  \"description\": \"host-side simulator performance; baseline = PR 5 (parallel harness, serial world)\",\n"
+	printf "  \"description\": \"host-side simulator performance; baseline = PR 7 (before the PR 9 per-packet hot-path optimizations)\",\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"host_cores\": %d,\n", nproc
 	printf "  \"baseline\": {\n"
 	printf "    \"BenchmarkFig5Batch\": %s,\n", base["BenchmarkFig5Batch"]
 	printf "    \"BenchmarkRouterIPv4GPU\": %s,\n", base["BenchmarkRouterIPv4GPU"]
-	printf "    \"psbench_all\": { \"wall_seconds\": 79.9, \"jobs\": 1 }\n"
+	printf "    \"fabric_workers\": { \"p1\": 366737214, \"p2\": 390572596, \"p8\": 379372911 },\n"
+	printf "    \"psbench_all\": { \"wall_seconds_j1\": 98.0, \"jobs\": 1 }\n"
 	printf "  },\n"
 	printf "  \"results\": {\n"
 	for (i = 0; i < n; i++) {
@@ -118,9 +121,13 @@ END {
 	}
 	printf "    \"fabric_workers\": {\n"
 	printf "      \"_comment\": \"ns/op for the 16-node VLB fabric, 50 sim ms, vs partition workers; results byte-identical at every count\",\n"
-	printf "      \"p1\": %d, \"p2\": %d, \"p8\": %d\n", \
+	printf "      \"p1\": %d, \"p2\": %d, \"p8\": %d,\n", \
 		ns["BenchmarkFabricWorkers/p1"], ns["BenchmarkFabricWorkers/p2"], \
 		ns["BenchmarkFabricWorkers/p8"]
+	printf "      \"sim_ns_per_op\": %d,\n", fabricSim
+	printf "      \"sim_ns_per_wall_ns_p1\": %.3f, \"sim_ns_per_wall_ns_p8\": %.3f\n", \
+		fabricSim / ns["BenchmarkFabricWorkers/p1"], \
+		fabricSim / ns["BenchmarkFabricWorkers/p8"]
 	printf "    },\n"
 	printf "    \"psbench_all\": { \"nproc\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true },\n", \
 		nproc, j1, jn

@@ -72,7 +72,10 @@ go test -race ./internal/sim ./internal/core ./internal/ctrl ./internal/cluster 
 echo "== go test -race -short (parallel experiment harness)"
 go test -race -short ./internal/experiments
 
-echo "== bench smoke (one iteration of the key benchmarks)"
-go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' -benchtime 1x .
+echo "== bench smoke (one iteration of the key benchmarks, pprof to profiles/)"
+mkdir -p profiles
+go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' -benchtime 1x \
+	-cpuprofile profiles/bench-smoke.cpu.pprof \
+	-memprofile profiles/bench-smoke.mem.pprof .
 
 echo "== all checks passed"

@@ -1,0 +1,45 @@
+#!/bin/sh
+# profile.sh is the profiling harness behind `make profile`: it runs the
+# three key benchmarks — Fig5Batch (packet-I/O engine hot path),
+# RouterIPv4GPU (full CPU+GPU router framework) and FabricWorkers/p1
+# (conservative-parallel cluster fabric) — with CPU and allocation
+# profiling enabled, and drops pprof files plus a ready-to-read top-25
+# summary under profiles/.
+#
+# This is how the PR 9 per-packet optimizations were found (frame
+# templates, LUT Toeplitz, fast decode, hoisted cycle accounting): look
+# at profiles/*.top.txt, attack the biggest flat contributor that is
+# per-packet work, and re-run.
+#
+# Usage: scripts/profile.sh [benchtime]   (default 5x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUTDIR="profiles"
+mkdir -p "$OUTDIR"
+
+profile_one() { # profile_one <label> <bench regex>
+	label="$1"
+	regex="$2"
+	echo "== $label ($regex, benchtime=$BENCHTIME)"
+	go test -run '^$' -bench "$regex" -benchtime "$BENCHTIME" \
+		-cpuprofile "$OUTDIR/$label.cpu.pprof" \
+		-memprofile "$OUTDIR/$label.mem.pprof" \
+		-o "$OUTDIR/$label.test" .
+	go tool pprof -top -nodecount=25 "$OUTDIR/$label.test" \
+		"$OUTDIR/$label.cpu.pprof" >"$OUTDIR/$label.top.txt" 2>&1
+	go tool pprof -top -nodecount=25 -sample_index=alloc_space \
+		"$OUTDIR/$label.test" "$OUTDIR/$label.mem.pprof" \
+		>"$OUTDIR/$label.alloc.txt" 2>&1
+	rm -f "$OUTDIR/$label.test"
+}
+
+profile_one fig5batch 'BenchmarkFig5Batch$'
+profile_one router-ipv4-gpu 'BenchmarkRouterIPv4GPU$'
+profile_one fabric 'BenchmarkFabricWorkers/p1$'
+
+echo "== profiles written to $OUTDIR/"
+ls -l "$OUTDIR"
+echo "   (inspect interactively: go tool pprof $OUTDIR/<name>.cpu.pprof)"
