@@ -97,7 +97,7 @@ func BenchmarkRouterIPv4GPU(b *testing.B) {
 // every worker count — CI enforces that — so the ns/op spread is the
 // pure core-scaling curve of the windowed world scheduler. On a
 // single-core host the curve is flat; scripts/bench.sh records it with
-// the host's core count in BENCH_PR7.json either way.
+// the host's core count in BENCH_PR10.json either way.
 func BenchmarkFabricWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 8} {
 		b.Run(fmt.Sprintf("p%d", workers), func(b *testing.B) {
@@ -114,6 +114,36 @@ func BenchmarkFabricWorkers(b *testing.B) {
 				Horizon:     50 * sim.Millisecond,
 				Seed:        7,
 				Workers:     workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.RunFabric(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLeafSpineScale measures the leaf–spine fabric's host cost as
+// the node count grows: 16, 64 and 128 leaves with a proportional spine
+// tier, Zipf flows, 5 ms of virtual time, serial partition advance.
+// This is the scale-frontier curve of the timer-wheel scheduler and the
+// dirty-link window barrier — the 128-leaf row is a 144-partition world
+// with 8,192 links.
+func BenchmarkLeafSpineScale(b *testing.B) {
+	for _, s := range []struct{ leaves, spines int }{{16, 4}, {64, 8}, {128, 16}} {
+		b.Run(fmt.Sprintf("l%d", s.leaves), func(b *testing.B) {
+			cfg := cluster.FabricConfig{
+				Topo: &cluster.LeafSpine{
+					Leaves: s.leaves, Spines: s.spines, Uplinks: 2,
+					EdgeGbps: 40, LeafGbps: 40, SpineGbps: 160, UplinkGbps: 10,
+				},
+				Matrix:      cluster.Uniform(s.leaves, float64(s.leaves)*10),
+				LinkLatency: 50 * sim.Microsecond,
+				Horizon:     5 * sim.Millisecond,
+				Seed:        2026,
+				Workers:     1,
+				Flows:       cluster.FlowModel{ZipfS: 1.1},
 			}
 			for i := 0; i < b.N; i++ {
 				if _, err := cluster.RunFabric(cfg); err != nil {

@@ -10,7 +10,8 @@
 //	psbench -list
 //
 // Experiments: table1, launch, fig2, table3, fig5, fig6, numa,
-// fig11a-fig11d, fig12, ablation, cluster, fabric, fibupdate, faults.
+// fig11a-fig11d, fig12, ablation, cluster, fabric, leafspine,
+// fibupdate, faults, churn.
 //
 // Each experiment point is an independent deterministic simulation, so
 // points run in parallel across -j workers; results are merged in job
@@ -33,7 +34,8 @@ import (
 
 const usage = `usage: psbench [flags] [experiment ...]
 
-  -j N       run up to N simulation jobs in parallel (default: GOMAXPROCS)
+  -j N       run up to N simulation jobs in parallel
+             (default: min(GOMAXPROCS, runnable jobs of the selection))
   -p N       advance partitioned worlds (fabric) on N goroutines (default: 1)
   -list      list available experiments
   -metrics   dump per-run metrics (counters, latency histograms, occupancy)
@@ -43,9 +45,9 @@ for any -j and any -p.`
 
 // parseArgs handles flags and positionals in any order ("psbench all
 // -j 8" must work; the stdlib flag package stops at the first
-// positional argument).
+// positional argument). jobs == 0 means no explicit -j: the caller
+// derives the default from the selection.
 func parseArgs(argv []string) (ids []string, jobs, parts int, list, metrics bool, err error) {
-	jobs = runtime.GOMAXPROCS(0)
 	parts = 1
 	fail := func(format string, args ...any) ([]string, int, int, bool, bool, error) {
 		return nil, 0, 0, false, false, fmt.Errorf(format, args...)
@@ -119,11 +121,29 @@ func main() {
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
+	// Default -j: a pool wider than the selection's runnable jobs can
+	// never fill, and a pool wider than GOMAXPROCS oversubscribes the
+	// host (measurably slower on small machines), so cap at both. The
+	// run header records the chosen value either way.
+	jdesc := fmt.Sprintf("%d", jobs)
+	if jobs == 0 {
+		runnable, err := experiments.RunnableJobs(ids...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		jobs = runtime.GOMAXPROCS(0)
+		if runnable < jobs {
+			jobs = runnable
+		}
+		jdesc = fmt.Sprintf("%d (auto: min of GOMAXPROCS %d, %d runnable jobs)",
+			jobs, runtime.GOMAXPROCS(0), runnable)
+	}
 	start := time.Now()
 	if err := experiments.NewRunner(jobs).Run(os.Stdout, ids...); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "[%s done in %v, -j %d -p %d]\n",
-		strings.Join(ids, " "), time.Since(start).Round(time.Millisecond), jobs, parts)
+	fmt.Fprintf(os.Stderr, "[%s done in %v, -j %s -p %d]\n",
+		strings.Join(ids, " "), time.Since(start).Round(time.Millisecond), jdesc, parts)
 }

@@ -1,32 +1,57 @@
-// fabric.go grows the analytic mesh model into a small discrete-event
-// fabric of PacketShader boxes: one sim partition per node, connected by
+// fabric.go grows the analytic mesh model into a discrete-event fabric
+// of PacketShader boxes: one sim partition per node, connected by
 // latency-carrying sim.Links, advanced conservatively in parallel by
-// sim.World (ROADMAP item 1). Where Evaluate answers "what throughput is
-// admissible", the fabric *runs* the mesh — batches traverse ingress,
-// per-hop forwarding budgets, per-link serialization and propagation
-// latency — and reports what was actually delivered, with end-to-end
-// latency, under Direct or VLB routing. VLB intermediates come from a
-// real Toeplitz flow hash (the paper's RSS hash), not a modulo counter.
+// sim.World (ROADMAP items 1 and 2). Where Evaluate answers "what
+// throughput is admissible", the fabric *runs* the interconnect —
+// batches traverse ingress, per-hop forwarding budgets, per-link
+// serialization and propagation latency — and reports what was actually
+// delivered, with end-to-end latency, under the topology's routing
+// (mesh Direct/VLB, or leaf-spine ECMP). Wire and port serialization
+// are arithmetic recurrences (end = max(now, free) + bits/rate), not
+// dedicated processes: a node is two procs (generator and forwarder)
+// regardless of its degree, which is what lets a 128-leaf fabric run
+// inside the bench budget.
 package cluster
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
+	"packetshader/internal/faults"
 	"packetshader/internal/hw/nic"
 	"packetshader/internal/sim"
 )
 
+// FlowModel shapes the traffic generators' flow structure. The zero
+// value is the legacy model: every batch is its own flow (fresh RSS key
+// material per batch).
+type FlowModel struct {
+	// ZipfS > 0 enables heavy-tailed flow sizes: a flow persists for
+	// k batches with probability ∝ k^-ZipfS, k = 1..MaxBatches, and
+	// all its batches share RSS key material — so ECMP pins the whole
+	// flow to one path, the way real 5-tuple hashing does.
+	ZipfS float64
+	// MaxBatches bounds the flow-size support (default 256).
+	MaxBatches int
+}
+
 // FabricConfig describes one fabric run.
 type FabricConfig struct {
-	// Cluster reuses the analytic capacities: Nodes, ExternalGbps,
-	// NodeForwardingGbps, InternalLinkGbps.
+	// Cluster supplies the full-mesh capacities: Nodes, ExternalGbps,
+	// NodeForwardingGbps, InternalLinkGbps. Ignored when Topo is set.
 	Cluster Config
-	// Scheme is Direct or VLB. (DirectVLB's spill decision needs global
-	// link-occupancy knowledge and is left to the analytic model.)
+	// Scheme is Direct or VLB for the full mesh. (DirectVLB's spill
+	// decision needs global link-occupancy knowledge and is left to
+	// the analytic model.) Ignored when Topo is set.
 	Scheme Routing
-	// Matrix is the offered load, Gbps entering node i destined to j.
+	// Topo overrides the interconnect; nil means the full mesh built
+	// from Cluster and Scheme.
+	Topo Topology
+	// Matrix is the offered load, Gbps entering external node i
+	// destined to external node j.
 	Matrix Matrix
-	// LinkLatency is the propagation delay of every mesh link — the
+	// LinkLatency is the propagation delay of every fabric link — the
 	// world's lookahead. Must be positive.
 	LinkLatency sim.Duration
 	// BatchBytes is the traffic granularity: one event-level unit of
@@ -34,11 +59,20 @@ type FabricConfig struct {
 	BatchBytes int
 	// Horizon is the simulated duration.
 	Horizon sim.Duration
-	// Seed drives flow-key generation (and thus VLB intermediates).
+	// Seed drives flow-key generation (and thus VLB intermediates and
+	// ECMP path choices).
 	Seed uint64
 	// Workers is the number of host goroutines advancing partitions
 	// (the psbench -p value); any value yields byte-identical results.
 	Workers int
+	// Flows shapes flow sizes; the zero value is one flow per batch.
+	Flows FlowModel
+	// Faults schedules deterministic link and node failures: link
+	// events (KindLinkDown/Up) target egress slot Port of node Node;
+	// GPU events (KindGPUFail/Repair) take the whole node down — a
+	// dead node blackholes everything it would forward. Other fault
+	// kinds model single-box hardware and are ignored here.
+	Faults *faults.Plan
 }
 
 // FabricResult is the merged outcome of a fabric run.
@@ -53,49 +87,61 @@ type FabricResult struct {
 	MeanLatency, MaxLatency sim.Duration
 	Batches, Delivered      uint64
 	Forwards                uint64
+	// RouteDrops counts batches blackholed because every candidate
+	// egress link was down; NodeDrops, batches consumed by a dead
+	// node.
+	RouteDrops, NodeDrops uint64
 }
 
 // batch is the unit of simulated traffic: a fixed-size burst of packets
 // of one flow. Batches travel between nodes by value through sim.Links
 // and queues, so ownership hands off at scheduler-visible boundaries.
 type batch struct {
-	src, dst, via int
-	hops          uint32
-	bits          uint64
-	born          sim.Time
-	flowSrc       uint32 // flow key material for the Toeplitz hash
-	flowDst       uint32
+	src, dst int
+	hops     uint32
+	hash     uint32 // RSS flow hash: VLB intermediate / ECMP path choice
+	bits     uint64
+	born     sim.Time
+	flowSrc  uint32 // flow key material behind hash
+	flowDst  uint32
 }
 
-// fabricNode is one PacketShader box, modeled as a pipeline of
-// processes so its three budgets serialize independently (a single
-// proc doing fwd+tx+ext back-to-back would collapse the node to the
-// harmonic mean of the three rates):
-//
-//	inbox → forward (NodeForwardingGbps) → txQ[j] → transmit → link j
-//	                                     ↘ extQ   → egress (ExternalGbps)
-//
-// Each counter field is written by exactly one of the node's procs and
-// merged in node order after the run.
+// fabricNode is one fabric box: a generator proc emitting external
+// ingress and a forwarder proc draining the inbox. The forwarding
+// budget is the forwarder's Sleep; link and external-port serialization
+// are arithmetic FIFO recurrences (txFree/extFree) proven equivalent to
+// the dedicated server procs they replaced — max(now, free) + bits/rate
+// is exactly a single-server FIFO queue's completion time. Each counter
+// field is written by exactly one of the node's procs; fault events
+// reach the forwarder through the faultq hand-off (the At callback only
+// enqueues, the forwarder drains before consulting liveness), so
+// alive/up stay forwarder-owned. Everything merges in node order after
+// the run.
 type fabricNode struct {
-	id    int
-	part  *sim.Partition
-	inbox *sim.Queue[batch]
-	txQ   []*sim.Queue[batch] // per-destination transmit stages
-	extQ  *sim.Queue[batch]   // external egress stage
-	out   []*sim.Link[batch]
+	id     int
+	part   *sim.Partition
+	inbox  *sim.Queue[batch]
+	faultq *sim.Queue[faults.Event] // scheduler→forwarder fault hand-off
+	out    []*sim.Link[batch]
+	gbps   []float64 // per-slot link rate
+	alive  []bool    // per-slot link carrier, fault-toggled
+	up     bool      // node liveness, fault-toggled
+
+	txFree  []sim.Time // per-slot wire-free time (FIFO serialization)
+	extFree sim.Time   // external port free time
 
 	// generator-owned counters
 	genBatches uint64
 	genBits    uint64
 	// forwarder-owned counters
-	forwards uint64
-	// egress-owned counters
+	forwards      uint64
 	delivered     uint64
 	deliveredBits uint64
 	hopSum        uint64
 	latSum        sim.Duration
 	latMax        sim.Duration
+	routeDrops    uint64
+	nodeDrops     uint64
 }
 
 // gbpsTime returns the serialization time of bits at rate gbps: one
@@ -112,17 +158,36 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// RunFabric builds the mesh world and runs it to the horizon.
+// zipfTable precomputes the cumulative weights of k^-s over
+// k = 1..max for inverse-CDF sampling.
+func zipfTable(s float64, max int) []float64 {
+	cum := make([]float64, max)
+	var total float64
+	for k := 1; k <= max; k++ {
+		total += math.Pow(float64(k), -s)
+		cum[k-1] = total
+	}
+	return cum
+}
+
+// zipfDraw samples a flow size from the table.
+func zipfDraw(cum []float64, rng *uint64) int {
+	u := float64(splitmix64(rng)>>11) / float64(uint64(1)<<53)
+	return sort.SearchFloat64s(cum, u*cum[len(cum)-1]) + 1
+}
+
+// RunFabric builds the fabric world and runs it to the horizon.
 func RunFabric(cfg FabricConfig) (FabricResult, error) {
-	c := cfg.Cluster
-	if err := c.Validate(); err != nil {
+	topo := cfg.Topo
+	if topo == nil {
+		topo = &FullMesh{Cluster: cfg.Cluster, Scheme: cfg.Scheme}
+	}
+	if err := topo.Validate(); err != nil {
 		return FabricResult{}, err
 	}
-	if cfg.Scheme != Direct && cfg.Scheme != VLB {
-		return FabricResult{}, fmt.Errorf("fabric: scheme %v not modeled (use the analytic Evaluate)", cfg.Scheme)
-	}
-	if len(cfg.Matrix) != c.Nodes {
-		return FabricResult{}, fmt.Errorf("fabric: matrix size %d != nodes %d", len(cfg.Matrix), c.Nodes)
+	ext := topo.Externals()
+	if len(cfg.Matrix) != ext {
+		return FabricResult{}, fmt.Errorf("fabric: matrix size %d != external nodes %d", len(cfg.Matrix), ext)
 	}
 	if cfg.LinkLatency <= 0 {
 		return FabricResult{}, fmt.Errorf("fabric: LinkLatency must be positive (it is the lookahead)")
@@ -133,52 +198,48 @@ func RunFabric(cfg FabricConfig) (FabricResult, error) {
 	if cfg.BatchBytes <= 0 {
 		cfg.BatchBytes = 16 << 10
 	}
-	n := c.Nodes
+	if cfg.Flows.ZipfS > 0 && cfg.Flows.MaxBatches <= 0 {
+		cfg.Flows.MaxBatches = 256
+	}
+	n := topo.Nodes()
 
 	world := sim.NewWorld()
 	defer world.Close()
 	nodes := make([]*fabricNode, n)
 	for i := 0; i < n; i++ {
 		part := world.NewPartition(fmt.Sprintf("node%d", i))
-		env := part.Env()
-		nd := &fabricNode{
-			id:    i,
-			part:  part,
-			inbox: sim.NewQueue[batch](env, 0),
-			txQ:   make([]*sim.Queue[batch], n),
-			extQ:  sim.NewQueue[batch](env, 0),
-			out:   make([]*sim.Link[batch], n),
+		nodes[i] = &fabricNode{
+			id:     i,
+			part:   part,
+			inbox:  sim.NewQueue[batch](part.Env(), 0),
+			faultq: sim.NewQueue[faults.Event](part.Env(), 0),
+			up:     true,
 		}
-		for j := 0; j < n; j++ {
-			if j != i {
-				nd.txQ[j] = sim.NewQueue[batch](env, 0)
-			}
-		}
-		nodes[i] = nd
 	}
-	// Full mesh of links, in (src, dst) order so barrier delivery is
-	// deterministic by construction.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if j != i {
-				nodes[i].out[j] = sim.NewLink(nodes[i].part, nodes[j].part,
-					cfg.LinkLatency, nodes[j].inbox)
-			}
+	for _, tl := range topo.Links() {
+		nd := nodes[tl.From]
+		nd.out = append(nd.out, sim.NewLink(nd.part, nodes[tl.To].part,
+			cfg.LinkLatency, nodes[tl.To].inbox))
+		nd.gbps = append(nd.gbps, tl.Gbps)
+		nd.alive = append(nd.alive, true)
+		nd.txFree = append(nd.txFree, 0)
+	}
+	if cfg.Faults != nil {
+		if err := armFaults(cfg.Faults, nodes); err != nil {
+			return FabricResult{}, err
 		}
+	}
+	var zipf []float64
+	if cfg.Flows.ZipfS > 0 {
+		zipf = zipfTable(cfg.Flows.ZipfS, cfg.Flows.MaxBatches)
 	}
 	for i := 0; i < n; i++ {
 		nd := nodes[i] // loop-local: each root touches its own node only
 		env := nd.part.Env()
-		env.Go("gen", func(p *sim.Proc) { nd.generate(p, &cfg) })
-		env.Go("fwd", func(p *sim.Proc) { nd.forward(p, &cfg) })
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			j := j
-			env.Go(fmt.Sprintf("tx%d", j), func(p *sim.Proc) { nd.transmit(p, j, &cfg) })
+		if i < ext {
+			env.Go("gen", func(p *sim.Proc) { nd.generate(p, &cfg, zipf) })
 		}
-		env.Go("egress", func(p *sim.Proc) { nd.egress(p, &cfg) })
+		env.Go("fwd", func(p *sim.Proc) { nd.forward(p, &cfg, topo) })
 	}
 	world.Run(sim.Time(cfg.Horizon), cfg.Workers)
 
@@ -192,6 +253,8 @@ func RunFabric(cfg FabricConfig) (FabricResult, error) {
 		res.DeliveredGbps += float64(nd.deliveredBits)
 		res.MeanHops += float64(nd.hopSum)
 		res.MeanLatency += nd.latSum
+		res.RouteDrops += nd.routeDrops
+		res.NodeDrops += nd.nodeDrops
 		if nd.latMax > res.MaxLatency {
 			res.MaxLatency = nd.latMax
 		}
@@ -204,22 +267,67 @@ func RunFabric(cfg FabricConfig) (FabricResult, error) {
 	return res, nil
 }
 
+// armFaults schedules the plan's link and node events on each affected
+// node's own environment, so a fault only ever touches partition-local
+// state (a leaf never reads a spine's liveness — a dead node simply
+// consumes and drops what reaches it). The callback only enqueues the
+// event on the node's faultq; the forwarder drains the queue before
+// consulting alive/up, so the toggles themselves stay forwarder-owned
+// (the same scheduler→proc hand-off as the core gpuStatus queue).
+// Liveness is only ever *read* when a batch is processed, and at any
+// instant the callback's setup-time seq sorts before a batch wakeup,
+// so drain-before-use observes exactly the state the direct write
+// would have.
+func armFaults(plan *faults.Plan, nodes []*fabricNode) error {
+	for _, ev := range plan.Events() {
+		if ev.Node < 0 || ev.Node >= len(nodes) {
+			return fmt.Errorf("fabric: fault event targets node %d of %d", ev.Node, len(nodes))
+		}
+		nd := nodes[ev.Node]
+		switch ev.Kind {
+		case faults.KindLinkDown, faults.KindLinkUp:
+			if ev.Port < 0 || ev.Port >= len(nd.alive) {
+				return fmt.Errorf("fabric: fault event targets slot %d of node %d (degree %d)", ev.Port, ev.Node, len(nd.alive))
+			}
+		case faults.KindGPUFail, faults.KindGPURepair:
+		default:
+			// Single-box hardware kinds (PCIe retrain, RX drop bursts)
+			// have no fabric-level meaning.
+			continue
+		}
+		ev := ev
+		nd.part.Env().At(sim.Time(ev.At), func() { nd.faultq.TryPut(ev) })
+	}
+	return nil
+}
+
+// applyFault folds one queued fault event into the forwarder's view.
+func (nd *fabricNode) applyFault(ev faults.Event) {
+	switch ev.Kind {
+	case faults.KindLinkDown, faults.KindLinkUp:
+		nd.alive[ev.Port] = ev.Kind == faults.KindLinkUp
+	case faults.KindGPUFail, faults.KindGPURepair:
+		nd.up = ev.Kind == faults.KindGPURepair
+	}
+}
+
 // generate emits this node's external ingress: per destination, batches
 // at the matrix rate, phase-offset by the seed so nodes do not emit in
-// lockstep. Each batch carries fresh Toeplitz flow-key material, which
-// picks the VLB intermediate the way RSS spreads flows over queues.
-// Diagonal (self-destined) traffic is switched locally, as in Evaluate:
-// it spends the forwarding budget and the external port but no link.
-func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig) {
-	n := cfg.Cluster.Nodes
+// lockstep. Flow key material feeds the Toeplitz hash that picks VLB
+// intermediates and ECMP paths; with a FlowModel, keys persist for a
+// Zipf-sized run of batches so a flow holds its path. Diagonal
+// (self-destined) traffic is switched locally, as in Evaluate: it
+// spends the forwarding budget and the external port but no link.
+func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig, zipf []float64) {
+	ext := len(cfg.Matrix)
 	bits := uint64(cfg.BatchBytes) * 8
 	// next[j] is the emission time of the next batch to j; interval[j]
 	// the batch period at the offered rate.
-	next := make([]sim.Time, n)
-	interval := make([]sim.Duration, n)
+	next := make([]sim.Time, ext)
+	interval := make([]sim.Duration, ext)
 	rng := cfg.Seed ^ (uint64(nd.id+1) * 0x9e3779b97f4a7c15)
 	active := 0
-	for j := 0; j < n; j++ {
+	for j := 0; j < ext; j++ {
 		rate := cfg.Matrix[nd.id][j]
 		if rate <= 0 {
 			next[j] = -1
@@ -232,10 +340,16 @@ func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig) {
 	if active == 0 {
 		return
 	}
+	var flowLeft []int
+	var flowKey []batch // per-destination persistent key material
+	if zipf != nil {
+		flowLeft = make([]int, ext)
+		flowKey = make([]batch, ext)
+	}
 	for {
 		// Earliest pending destination; ties go to the lower index.
 		j := -1
-		for k := 0; k < n; k++ {
+		for k := 0; k < ext; k++ {
 			if next[k] >= 0 && (j < 0 || next[k] < next[j]) {
 				j = k
 			}
@@ -244,16 +358,23 @@ func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig) {
 			return
 		}
 		p.SleepUntil(next[j])
-		b := batch{
-			src: nd.id, dst: j, via: nd.id, bits: bits, born: p.Now(),
-			flowSrc: uint32(splitmix64(&rng)), flowDst: uint32(splitmix64(&rng)),
-		}
-		if cfg.Scheme == VLB {
-			// Valiant: a uniform pseudo-random intermediate, chosen by
-			// the flow's RSS hash; src/dst picks degenerate to direct.
-			h := nic.RSSHashIPv4(nic.DefaultRSSKey[:], b.flowSrc, b.flowDst,
-				uint16(b.flowSrc>>16), uint16(b.flowDst>>16))
-			b.via = int(h % uint32(n))
+		b := batch{src: nd.id, dst: j, bits: bits, born: p.Now()}
+		if zipf == nil {
+			b.flowSrc = uint32(splitmix64(&rng))
+			b.flowDst = uint32(splitmix64(&rng))
+			b.hash = rssHash(b.flowSrc, b.flowDst)
+		} else {
+			if flowLeft[j] == 0 {
+				flowLeft[j] = zipfDraw(zipf, &rng)
+				fk := &flowKey[j]
+				fk.flowSrc = uint32(splitmix64(&rng))
+				fk.flowDst = uint32(splitmix64(&rng))
+				fk.hash = rssHash(fk.flowSrc, fk.flowDst)
+			}
+			flowLeft[j]--
+			b.flowSrc = flowKey[j].flowSrc
+			b.flowDst = flowKey[j].flowDst
+			b.hash = flowKey[j].hash
 		}
 		nd.genBatches++
 		nd.genBits += bits
@@ -262,56 +383,72 @@ func (nd *fabricNode) generate(p *sim.Proc, cfg *FabricConfig) {
 	}
 }
 
+// rssHash is the fabric's flow hash: the paper's Toeplitz RSS over the
+// batch's key material, LUT-accelerated for the default key.
+func rssHash(flowSrc, flowDst uint32) uint32 {
+	return nic.RSSHashIPv4(nic.DefaultRSSKey[:], flowSrc, flowDst,
+		uint16(flowSrc>>16), uint16(flowDst>>16))
+}
+
 // forward is the node's packet path: drain the inbox, spend the
-// forwarding budget, and route each batch to its next stage — the
-// external egress queue when this node is the destination, otherwise
-// the per-destination transmit queue. Routing is src → via → dst with
-// degenerate intermediates collapsing to the direct link, mirroring
-// Evaluate's addFlow. The forwarding budget is a plain Sleep: this
-// proc is the budget's only user, so a shared Server would add nothing.
-func (nd *fabricNode) forward(p *sim.Proc, cfg *FabricConfig) {
-	c := &cfg.Cluster
+// forwarding budget, and route each batch onward. Local deliveries pass
+// through the external-port recurrence and count only if the port
+// finishes them by the horizon — exactly when the dedicated egress proc
+// this replaces would have executed its completion event. Transit
+// batches pick an egress slot via the topology, serialize on the
+// per-slot wire recurrence, and depart through SendAt. The forwarding
+// budget is a plain Sleep: this proc is the budget's only user, so a
+// shared Server would add nothing.
+func (nd *fabricNode) forward(p *sim.Proc, cfg *FabricConfig, topo Topology) {
+	fwdGbps := topo.ForwardGbps(nd.id)
+	extGbps := topo.ExternalGbps(nd.id)
+	horizon := sim.Time(cfg.Horizon)
 	for {
 		b := nd.inbox.Get(p)
-		p.Sleep(gbpsTime(b.bits, c.NodeForwardingGbps))
+		for {
+			ev, ok := nd.faultq.TryGet()
+			if !ok {
+				break
+			}
+			nd.applyFault(ev)
+		}
+		if !nd.up {
+			nd.nodeDrops++
+			continue
+		}
+		p.Sleep(gbpsTime(b.bits, fwdGbps))
 		nd.forwards++
 		b.hops++
 		if b.dst == nd.id {
-			nd.extQ.TryPut(b)
+			end := p.Now()
+			if nd.extFree > end {
+				end = nd.extFree
+			}
+			end += sim.Time(gbpsTime(b.bits, extGbps))
+			nd.extFree = end
+			if end <= horizon {
+				nd.delivered++
+				nd.deliveredBits += b.bits
+				nd.hopSum += uint64(b.hops)
+				lat := sim.Duration(end - b.born)
+				nd.latSum += lat
+				if lat > nd.latMax {
+					nd.latMax = lat
+				}
+			}
 			continue
 		}
-		hop := b.dst
-		if nd.id == b.src && b.via != b.src && b.via != b.dst {
-			hop = b.via
+		slot, ok := topo.NextHop(nd.id, &b, nd.alive)
+		if !ok {
+			nd.routeDrops++
+			continue
 		}
-		nd.txQ[hop].TryPut(b)
-	}
-}
-
-// transmit serializes batches bound for node j onto the mesh link at
-// the internal link rate, then hands them to the link, which delivers
-// into j's inbox after the propagation latency.
-func (nd *fabricNode) transmit(p *sim.Proc, j int, cfg *FabricConfig) {
-	for {
-		b := nd.txQ[j].Get(p)
-		p.Sleep(gbpsTime(b.bits, cfg.Cluster.InternalLinkGbps))
-		nd.out[j].Send(p, b)
-	}
-}
-
-// egress drains delivered batches through the external port budget and
-// records the node's delivery statistics.
-func (nd *fabricNode) egress(p *sim.Proc, cfg *FabricConfig) {
-	for {
-		b := nd.extQ.Get(p)
-		p.Sleep(gbpsTime(b.bits, cfg.Cluster.ExternalGbps))
-		nd.delivered++
-		nd.deliveredBits += b.bits
-		nd.hopSum += uint64(b.hops)
-		lat := sim.Duration(p.Now() - b.born)
-		nd.latSum += lat
-		if lat > nd.latMax {
-			nd.latMax = lat
+		dep := p.Now()
+		if nd.txFree[slot] > dep {
+			dep = nd.txFree[slot]
 		}
+		dep += sim.Time(gbpsTime(b.bits, nd.gbps[slot]))
+		nd.txFree[slot] = dep
+		nd.out[slot].SendAt(p, dep, b)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"packetshader/internal/cluster"
+	"packetshader/internal/faults"
 	"packetshader/internal/sim"
 )
 
@@ -148,5 +149,74 @@ func fabricScaling(c *Ctx) *Result {
 	r.Rows = append(r.Rows, rows...)
 	r.Note("one sim partition per node; links carry 50us lookahead; batches are 16 KiB")
 	r.Note("identical output for any -p: conservative windows + ordered merge are provably serial-equivalent")
+	return r
+}
+
+// LeafSpine runs the two-tier Clos fabric at datacenter scale: leaf
+// counts from 16 to 128 with a proportional spine tier, Zipf-sized
+// flows pinned to one ECMP path each, and a faulted 128-leaf variant
+// (an uplink dark from the start plus a mid-run spine outage). This is
+// the scale frontier of ROADMAP item 2: the 128-leaf row is a 144-
+// partition world with 8,192 links.
+func LeafSpine() *Result { return runSolo(leafSpineScaling) }
+
+func leafSpineScaling(c *Ctx) *Result {
+	r := &Result{
+		ID:     "leafspine",
+		Title:  "Leaf–spine DES fabric (§7 at scale): ECMP delivery up to 128 leaves",
+		Header: []string{"Leaves", "Spines", "Links", "Variant", "offered", "delivered", "hops", "mean-lat(us)", "route-drop", "node-drop"},
+	}
+	type spec struct {
+		leaves, spines int
+		faulted        bool
+	}
+	specs := []spec{{16, 4, false}, {64, 8, false}, {128, 16, false}, {128, 16, true}}
+	rows := MapPoints(c, len(specs), func(i int, _ *Point) []string {
+		s := specs[i]
+		topo := &cluster.LeafSpine{
+			Leaves: s.leaves, Spines: s.spines, Uplinks: 2,
+			EdgeGbps: 40, LeafGbps: 40, SpineGbps: 160, UplinkGbps: 10,
+		}
+		cfg := cluster.FabricConfig{
+			Topo: topo,
+			// 10 Gbps of uniform ingress per leaf: inside every budget,
+			// so healthy rows should deliver essentially all of it.
+			Matrix:      cluster.Uniform(s.leaves, float64(s.leaves)*10),
+			LinkLatency: 50 * sim.Microsecond,
+			Horizon:     5 * sim.Millisecond,
+			Seed:        2026,
+			Workers:     partitionWorkers,
+			Flows:       cluster.FlowModel{ZipfS: 1.1},
+		}
+		variant := "healthy"
+		if s.faulted {
+			variant = "faulted"
+			cfg.Faults = faults.NewPlan().
+				// Leaf 0's uplink slot 0 never comes up; spine 1 dies for
+				// the middle fifth of the run.
+				Add(faults.Event{At: 0, Kind: faults.KindLinkDown, Node: 0, Port: 0}).
+				GPUOutage(s.leaves+1, 2*sim.Millisecond, 1*sim.Millisecond)
+		}
+		res, err := cluster.RunFabric(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return []string{
+			fmt.Sprintf("%d", s.leaves),
+			fmt.Sprintf("%d", s.spines),
+			fmt.Sprintf("%d", len(topo.Links())),
+			variant,
+			fmt.Sprintf("%.0f", res.OfferedGbps),
+			fmt.Sprintf("%.1f", res.DeliveredGbps),
+			fmt.Sprintf("%.2f", res.MeanHops),
+			fmt.Sprintf("%.1f", res.MeanLatency.Seconds()*1e6),
+			fmt.Sprintf("%d", res.RouteDrops),
+			fmt.Sprintf("%d", res.NodeDrops),
+		}
+	})
+	r.Rows = append(r.Rows, rows...)
+	r.Note("two procs per node regardless of degree: wire serialization is an arithmetic FIFO recurrence")
+	r.Note("flows are Zipf(1.1)-sized and keep their RSS hash, so ECMP pins each flow to one spine path")
+	r.Note("a dead spine blackholes its hash share (leaves cannot see spine state across partitions)")
 	return r
 }

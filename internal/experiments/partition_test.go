@@ -29,6 +29,28 @@ func TestFabricByteIdenticalAcrossPartitionWorkers(t *testing.T) {
 	}
 }
 
+// TestLeafSpineByteIdenticalAcrossPartitionWorkers extends the -p gate
+// to the leaf–spine experiment: 144-partition worlds with Zipf flows
+// and fault injection must render identically at any worker count.
+func TestLeafSpineByteIdenticalAcrossPartitionWorkers(t *testing.T) {
+	defer SetPartitionWorkers(1)
+	outputs := make(map[int]string)
+	for _, p := range []int{1, 2, 8} {
+		SetPartitionWorkers(p)
+		var metrics bytes.Buffer
+		SetMetricsWriter(&metrics)
+		out := render(LeafSpine())
+		SetMetricsWriter(nil)
+		outputs[p] = out + metrics.String()
+	}
+	for _, p := range []int{2, 8} {
+		if outputs[p] != outputs[1] {
+			t.Errorf("-p %d output differs from -p 1:\n%s\nvs\n%s",
+				p, outputs[p], outputs[1])
+		}
+	}
+}
+
 // TestSetPartitionWorkersClamps pins the contract psbench relies on:
 // non-positive values mean serial.
 func TestSetPartitionWorkersClamps(t *testing.T) {

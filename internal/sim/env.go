@@ -75,6 +75,12 @@ type event struct {
 // the slice so events are moved by value within one reusable backing
 // array. (container/heap would box every event into an interface value,
 // one heap allocation per scheduled event.)
+//
+// The production event store is the hierarchical timer wheel in
+// wheel.go; the heap is retained as the reference implementation the
+// wheel's differential tests execute against (see wheel_test.go), so
+// the exact (at, seq) contract stays pinned by executable code rather
+// than prose.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -141,13 +147,14 @@ type Hooks interface {
 // The zero value is not usable; create one with NewEnv.
 type Env struct {
 	now Time
-	// events holds future events; imm holds events scheduled at the
-	// current instant, which run in FIFO order without a heap round-trip.
-	// The split preserves the global (at, seq) execution order exactly:
-	// a heap event at time T was necessarily scheduled before the clock
-	// reached T (same-instant schedules go to imm), so its seq is smaller
-	// than that of every imm event, and next() runs it first.
-	events  eventHeap
+	// events holds future events in a hierarchical timer wheel; imm
+	// holds events scheduled at the current instant, which run in FIFO
+	// order without a wheel round-trip. The split preserves the global
+	// (at, seq) execution order exactly: a wheel event at time T was
+	// necessarily scheduled before the clock reached T (same-instant
+	// schedules go to imm), so its seq is smaller than that of every
+	// imm event, and next() runs it first.
+	events  timerWheel
 	imm     Ring[event]
 	seq     uint64
 	until   Time          // run horizon while running (0 = none)
@@ -205,34 +212,33 @@ func (e *Env) After(d Duration, fn func()) { e.schedule(e.now+Time(d), nil, fn) 
 // reports termination (false) when the queue is empty or the next event
 // lies beyond the run horizon. imm events are always at the current
 // instant (time cannot advance past them), so they never exceed the
-// horizon; heap events at the current instant carry smaller seqs than
+// horizon; wheel events at the current instant carry smaller seqs than
 // imm ones and run first.
 func (e *Env) next() (event, bool) {
-	heapNow := len(e.events) > 0 && e.events[0].at == e.now
-	if !heapNow && e.imm.Len() > 0 {
+	at, ok := e.events.peekAt()
+	if !(ok && at == e.now) && e.imm.Len() > 0 {
 		return e.imm.PopFront(), true
 	}
-	if len(e.events) == 0 {
+	if !ok {
 		return event{}, false
 	}
-	if e.until > 0 && e.events[0].at > e.until {
+	if e.until > 0 && at > e.until {
 		e.now = e.until
 		return event{}, false
 	}
-	return e.events.pop(), true
+	return e.events.popMin(), true
 }
 
 // NextEventAt returns the absolute time of the earliest pending event,
 // or false if nothing is scheduled. The partition scheduler (World) uses
-// it to size windows and skip idle stretches of virtual time.
+// it to size windows and skip idle stretches of virtual time; the peek
+// never restructures the wheel, so it is safe between windows when
+// still-earlier arrivals may yet be scheduled over links.
 func (e *Env) NextEventAt() (Time, bool) {
 	if e.imm.Len() > 0 {
 		return e.now, true
 	}
-	if len(e.events) == 0 {
-		return 0, false
-	}
-	return e.events[0].at, true
+	return e.events.peekAt()
 }
 
 // Run executes events until the queue drains or the clock passes until
@@ -348,6 +354,6 @@ func (e *Env) Close() {
 		<-e.closeCh
 	}
 	e.procs = nil
-	e.events = nil
+	e.events.reset()
 	e.imm = Ring[event]{}
 }

@@ -1,0 +1,227 @@
+package sim
+
+import "math/bits"
+
+// timerWheel is the environment's future-event store: a hierarchical
+// timer wheel (calendar-queue style) that replaces the binary min-heap
+// on the scheduling hot path while preserving the heap's exact
+// (at, seq) execution order.
+//
+// Layout. Virtual time is an int64 of picoseconds; the wheel views it
+// as eleven base-64 digits (6 bits per level, 11*6 = 66 >= 63 bits, so
+// the top level is the far-future overflow level — any representable
+// Time fits without a separate overflow list). An event is filed at
+// the level of the most significant digit where its time differs from
+// `base`, in the slot named by its own digit at that level. For two
+// stored events, the one filed at the lower level is earlier (it
+// diverges from base later), and within one level the lower slot is
+// earlier — so the global minimum lives in the lowest occupied slot of
+// the lowest occupied level, found with one trailing-zeros scan of the
+// per-level occupancy bitmaps.
+//
+// Unlike the textbook wheel, base is not advanced tick-by-tick (with
+// picosecond ticks and microsecond event spacing that would cascade
+// every event through several near-empty levels). Instead popMin
+// extracts the whole minimum slot, advances base to that slot's exact
+// minimum time, stages the min-instant batch for serving, and re-files
+// the remainder against the new base. Placements stay consistent
+// because the new base shares every digit above the extracted level
+// with the old one and the extracted slot's digit at it: no other
+// slot's level-and-slot assignment changes, and each re-filed event
+// lands at a strictly lower level (amortizing to at most one placement
+// per level per event).
+//
+// Order proof obligation. The engine contract is exact (at, seq) order.
+// Slot lists are seq-sorted per instant at all times: direct inserts
+// append the largest seq issued so far; events sharing an instant
+// always share a slot (slot and level are functions of the time and
+// the current base, and a base advance re-files every event it would
+// re-level — they sit in the extracted slot); and re-filing replays a
+// list in order, so same-instant events keep their relative order.
+// Extracting the minimum instant from the minimum slot in list order
+// is therefore exactly the heap's (at, seq) order. The differential
+// tests in wheel_test.go pin this against the retained reference heap
+// over randomized schedules.
+//
+// base only advances inside popMin — at a moment when the engine is
+// committed to executing the minimum event, so every later insert
+// (clamped to the new e.now >= that minimum) still lands ahead of base
+// and the digit invariant holds. peekAt never restructures: NextEventAt
+// may be called between conservative windows, when earlier (but still
+// future) events can yet arrive over links.
+type timerWheel struct {
+	base  Time // digit reference; <= every stored event's time
+	count int  // stored events, staging ring included
+
+	occ   [wheelLevels]uint64               // per-level slot occupancy bitmaps
+	level [wheelLevels]*[wheelSlots][]event // lazily allocated slot lists
+
+	// free recycles emptied slot backings. Base advance re-files events
+	// into ever-new slot indices as virtual time progresses, so without
+	// recycling every (level, slot) first-touch would allocate for the
+	// whole life of the run; with it, allocations are bounded by the
+	// peak number of concurrently occupied slots.
+	free [][]event
+
+	// cur stages the batch being served: every event in it shares
+	// curAt. New same-instant work goes to the engine's imm ring
+	// instead (schedule routes at == now there), so the staged batch
+	// never interleaves with inserts.
+	cur   Ring[event]
+	curAt Time
+
+	// minAt/minK/minS cache the earliest stored time and the slot that
+	// holds it, so repeated peeks are O(1) (the window scheduler peeks
+	// every partition every window) and the popMin that follows a peek
+	// skips the scan entirely.
+	minAt    Time
+	minK     int
+	minS     int
+	minValid bool
+}
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // ceil(63 / wheelBits): level 10 is the overflow level
+)
+
+// place files ev at the level of its most significant digit differing
+// from base, in the slot named by ev's own digit there, and returns
+// that (level, slot). Callers guarantee ev.at > base (push clamps to
+// the clock, which never trails base; re-filing handles only times
+// above the extracted minimum).
+func (w *timerWheel) place(ev event) (int, int) {
+	d := uint64(ev.at ^ w.base)
+	var k int
+	if d != 0 {
+		k = (63 - bits.LeadingZeros64(d)) / wheelBits
+	}
+	lv := w.level[k]
+	if lv == nil {
+		lv = new([wheelSlots][]event)
+		w.level[k] = lv
+	}
+	s := int(ev.at>>(uint(k)*wheelBits)) & wheelMask
+	lst := lv[s]
+	if lst == nil {
+		if n := len(w.free); n > 0 {
+			lst, w.free = w.free[n-1], w.free[:n-1]
+		} else {
+			lst = make([]event, 0, 4)
+		}
+	}
+	lv[s] = append(lst, ev)
+	w.occ[k] |= 1 << uint(s)
+	return k, s
+}
+
+// push inserts a future event (ev.at strictly greater than the
+// engine's clock, which never trails base).
+func (w *timerWheel) push(ev event) {
+	k, s := w.place(ev)
+	if w.minValid && ev.at < w.minAt {
+		// A same-instant tie with the cached minimum would land in the
+		// cached slot (slot is a function of time and base alone), so
+		// only a strictly earlier event moves the cache.
+		w.minAt, w.minK, w.minS = ev.at, k, s
+	}
+	w.count++
+}
+
+// locate fills the min cache: the earliest stored time and the slot
+// holding it — the lowest occupied slot of the lowest occupied level,
+// which provably holds the minimum. One bitmap walk plus one scan of
+// that single slot's list.
+func (w *timerWheel) locate() {
+	if w.minValid {
+		return
+	}
+	for k := 0; k < wheelLevels; k++ {
+		if w.occ[k] == 0 {
+			continue
+		}
+		s := bits.TrailingZeros64(w.occ[k])
+		lst := w.level[k][s]
+		min := lst[0].at
+		for _, ev := range lst[1:] {
+			if ev.at < min {
+				min = ev.at
+			}
+		}
+		w.minAt, w.minK, w.minS, w.minValid = min, k, s, true
+		return
+	}
+	panic("sim: timerWheel count/occupancy mismatch")
+}
+
+// peekAt returns the earliest stored event time without restructuring
+// the wheel (safe between conservative windows).
+func (w *timerWheel) peekAt() (Time, bool) {
+	if w.cur.Len() > 0 {
+		return w.curAt, true
+	}
+	if w.count == 0 {
+		return 0, false
+	}
+	w.locate()
+	return w.minAt, true
+}
+
+// popMin removes and returns the earliest event in exact (at, seq)
+// order. The caller is committed to executing it (the clock advances
+// to its time), which is what makes advancing base safe.
+func (w *timerWheel) popMin() event {
+	if w.cur.Len() > 0 {
+		w.count--
+		return w.cur.PopFront()
+	}
+	w.locate()
+	k, s, min := w.minK, w.minS, w.minAt
+	lv := w.level[k]
+	lst := lv[s]
+	w.occ[k] &^= 1 << uint(s)
+	w.base = min
+	w.minValid = false
+	w.count--
+	if len(lst) == 1 {
+		// Sparse fast path: the slot is the whole minimum batch.
+		ev := lst[0]
+		lst[0] = event{}
+		w.free = append(w.free, lst[:0])
+		lv[s] = nil
+		return ev
+	}
+	// Single pass in list order: the first minimum-time event is the
+	// return value, later ties stage into cur (preserving their seq
+	// order), and the rest re-file at strictly lower levels against
+	// the new base — never back into lst's slot.
+	var ret event
+	have := false
+	for i := range lst {
+		ev := lst[i]
+		switch {
+		case ev.at != min:
+			w.place(ev)
+		case !have:
+			ret, have = ev, true
+		default:
+			w.cur.PushBack(ev)
+		}
+	}
+	if w.cur.Len() > 0 {
+		w.curAt = min
+	}
+	clear(lst)
+	w.free = append(w.free, lst[:0])
+	lv[s] = nil
+	return ret
+}
+
+// len reports the number of stored events.
+func (w *timerWheel) len() int { return w.count }
+
+// reset drops every stored event and releases the slot storage (used
+// by Env.Close so dead environments retain no Proc or closure refs).
+func (w *timerWheel) reset() { *w = timerWheel{} }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -32,7 +33,15 @@ type World struct {
 	running   bool
 	closed    bool
 
-	busy []*Partition // per-window scratch: partitions with runnable work
+	busy  []*Partition // per-window scratch: partitions with runnable work
+	dirty []int        // per-window scratch: creation indexes of dirty links
+
+	// flushAll disables dirty-link tracking so every window barrier
+	// flushes every link, as the pre-tracking implementation did. The
+	// two schedules are byte-for-byte identical (the dirty list is
+	// flushed in link creation order, and a clean link's flush is a
+	// no-op); the flag exists so tests can assert exactly that.
+	flushAll bool
 }
 
 // Partition is one member environment of a World. Its processes must
@@ -45,10 +54,20 @@ type Partition struct {
 	index int
 	name  string
 	env   *Env
+
+	// dirty lists this partition's outgoing links that have buffered
+	// sends in the current window, in first-send order. Only processes
+	// of this partition append (Link.Send runs in the source
+	// partition), so the list needs no synchronization; the barrier
+	// collects, sorts, and clears it.
+	dirty []flusher
 }
 
 // flusher is the untyped view of Link[T] used by the window barrier.
-type flusher interface{ flush() }
+type flusher interface {
+	flush()
+	order() int // creation index, the deterministic flush order
+}
 
 // NewWorld returns an empty world.
 func NewWorld() *World { return &World{} }
@@ -99,7 +118,19 @@ type Link[T any] struct {
 	from, to *Partition
 	latency  Duration
 	dst      *Queue[T]
+	idx      int // creation index across the world's links
 	pending  []linkItem[T]
+
+	// inflight holds flushed messages awaiting delivery, in arrival
+	// order (send times are nondecreasing per link, so arrivals are
+	// too). One reusable callback (deliver) walks it: each scheduled
+	// event delivers every message due at that instant and re-arms at
+	// the next arrival, so a window's burst costs one scheduled event
+	// per distinct arrival instant instead of one closure per message.
+	inflight Ring[linkItem[T]]
+	armed    bool
+	deliver  func()
+	lastSend Time // latest accepted departure time (SendAt monotonicity)
 
 	// Sent counts messages accepted by Send; Dropped counts arrivals
 	// rejected because dst was full at delivery time. Both are
@@ -129,7 +160,8 @@ func NewLink[T any](from, to *Partition, latency Duration, dst *Queue[T]) *Link[
 	if w.running {
 		panic("sim: NewLink during World.Run")
 	}
-	l := &Link[T]{from: from, to: to, latency: latency, dst: dst}
+	l := &Link[T]{from: from, to: to, latency: latency, dst: dst, idx: len(w.links)}
+	l.deliver = l.deliverDue
 	w.links = append(w.links, l)
 	if w.lookahead == 0 || latency < w.lookahead {
 		w.lookahead = latency
@@ -140,30 +172,77 @@ func NewLink[T any](from, to *Partition, latency Duration, dst *Queue[T]) *Link[
 // Send transmits v from the calling process, to arrive at the
 // destination partition after the link latency. It never blocks; wire
 // serialization (bandwidth) should be modeled with a Server in the
-// sending partition before calling Send.
-func (l *Link[T]) Send(p *Proc, v T) {
+// sending partition before calling Send — or computed arithmetically
+// and expressed through SendAt.
+func (l *Link[T]) Send(p *Proc, v T) { l.SendAt(p, p.Now(), v) }
+
+// SendAt transmits v departing at the future instant depart (arrival is
+// depart+latency). It lets a sender that models wire serialization
+// arithmetically — "this message finishes serializing at T" — emit the
+// message without sleeping until T. Departures on one link must be
+// nondecreasing, which keeps the link FIFO and its in-flight buffer in
+// arrival order; a send that would reorder the wire panics.
+func (l *Link[T]) SendAt(p *Proc, depart Time, v T) {
 	if p.env != l.from.env {
 		panic("sim: Link.Send from a process outside the source partition")
 	}
+	if depart < p.Now() {
+		panic("sim: Link.SendAt departure in the past")
+	}
+	if depart < l.lastSend {
+		panic("sim: Link.SendAt departures must be nondecreasing (FIFO wire)")
+	}
+	l.lastSend = depart
 	l.Sent++
-	l.pending = append(l.pending, linkItem[T]{at: p.Now() + Time(l.latency), v: v})
+	if len(l.pending) == 0 {
+		pt := l.from
+		pt.dirty = append(pt.dirty, l)
+	}
+	l.pending = append(l.pending, linkItem[T]{at: depart + Time(l.latency), v: v})
 }
 
-// flush runs at the window barrier, on the World.Run goroutine, after all
-// partitions have joined. Every pending arrival lies strictly beyond the
-// window that produced it (send at t ≥ window start, arrival t+latency ≥
-// start+lookahead > window end), so scheduling it here — before the next
-// window starts — delivers it exactly when a serial run would.
+// order returns the link's creation index, the order the barrier
+// flushes dirty links in.
+func (l *Link[T]) order() int { return l.idx }
+
+// flush runs at the window barrier, on the World.Run goroutine, after
+// all partitions have joined. Every pending arrival lies strictly
+// beyond the window that produced it (send at t ≥ window start, arrival
+// t+latency ≥ start+lookahead > window end), so moving it in-flight and
+// arming the delivery callback here — before the next window starts —
+// delivers it exactly when a serial run would.
 func (l *Link[T]) flush() {
-	for _, it := range l.pending {
-		v := it.v
-		l.to.env.At(it.at, func() {
-			if !l.dst.TryPut(v) {
-				l.Dropped++
-			}
-		})
+	if len(l.pending) == 0 {
+		return
+	}
+	for i := range l.pending {
+		l.inflight.PushBack(l.pending[i])
+		l.pending[i] = linkItem[T]{}
 	}
 	l.pending = l.pending[:0]
+	if !l.armed {
+		l.armed = true
+		l.to.env.At(l.inflight.Front().at, l.deliver)
+	}
+}
+
+// deliverDue runs in the destination environment at an arrival instant:
+// it delivers every in-flight message due now (dst assigns them
+// consecutive wakeups, preserving send order) and re-arms at the next
+// arrival, if any.
+func (l *Link[T]) deliverDue() {
+	now := l.to.env.Now()
+	for l.inflight.Len() > 0 && l.inflight.Front().at == now {
+		it := l.inflight.PopFront()
+		if !l.dst.TryPut(it.v) {
+			l.Dropped++
+		}
+	}
+	if l.inflight.Len() > 0 {
+		l.to.env.At(l.inflight.Front().at, l.deliver)
+	} else {
+		l.armed = false
+	}
 }
 
 // Run advances every partition to the absolute virtual time until
@@ -204,15 +283,43 @@ func (w *World) Run(until Time, workers int) Time {
 			}
 		}
 		w.advance(end, workers)
-		for _, l := range w.links {
-			l.flush()
-		}
+		w.barrier()
 	}
 	// Settle every clock at the horizon so Now() is uniform afterwards.
 	for _, pt := range w.parts {
 		pt.env.Run(until)
 	}
 	return until
+}
+
+// barrier flushes the window's sends. Only links that actually buffered
+// messages are visited — O(active links), not O(links) — collected from
+// the per-partition dirty lists and flushed in creation order, the same
+// order a flush-all pass would visit them in (a clean link's flush is a
+// no-op), so dirty tracking is schedule-invisible. The advance barrier
+// (WaitGroup) has already ordered the workers' writes to the dirty
+// lists and pending buffers before this read.
+func (w *World) barrier() {
+	if w.flushAll {
+		for _, l := range w.links {
+			l.flush()
+		}
+		for _, pt := range w.parts {
+			pt.dirty = pt.dirty[:0]
+		}
+		return
+	}
+	w.dirty = w.dirty[:0]
+	for _, pt := range w.parts {
+		for _, l := range pt.dirty {
+			w.dirty = append(w.dirty, l.order())
+		}
+		pt.dirty = pt.dirty[:0]
+	}
+	slices.Sort(w.dirty)
+	for _, i := range w.dirty {
+		w.links[i].flush()
+	}
 }
 
 // nextEventAt returns the earliest pending event time across partitions.

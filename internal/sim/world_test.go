@@ -322,3 +322,200 @@ func TestWorldCloseReleasesAllPartitions(t *testing.T) {
 	w.Close() // idempotent
 	waitGoroutines(t, base)
 }
+
+// buildSparseWorld is a full mesh of links where almost all of them stay
+// idle: of n partitions only 0↔(n-1) ping-pong and 1 fires a single
+// burst at 2. A dirty-tracking bug that skips or reorders flushes shows
+// up here where a dense workload would mask it.
+func buildSparseWorld(n int) (w *World, render func() string) {
+	w = NewWorld()
+	parts := make([]*Partition, n)
+	inboxes := make([]*Queue[int], n)
+	logs := make([][]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = w.NewPartition(fmt.Sprintf("node%d", i))
+		inboxes[i] = NewQueue[int](parts[i].Env(), 0)
+	}
+	links := make([][]*Link[int], n)
+	for i := 0; i < n; i++ {
+		links[i] = make([]*Link[int], n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				links[i][j] = NewLink(parts[i], parts[j], Duration(40+7*((i+j)%3))*Nanosecond, inboxes[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		env := parts[i].Env()
+		env.Go("echo", func(p *Proc) {
+			for {
+				v := inboxes[i].Get(p)
+				logs[i] = append(logs[i], fmt.Sprintf("n%d t=%d v=%d", i, p.Now(), v))
+				if i == n-1 && v > 0 {
+					p.Sleep(15 * Nanosecond)
+					links[i][0].Send(p, v-1) // pong back
+				}
+			}
+		})
+	}
+	parts[0].Env().Go("ping", func(p *Proc) {
+		for k := 12; k > 0; k -= 2 {
+			links[0][n-1].Send(p, k)
+			v := inboxes[0].Get(p)
+			logs[0] = append(logs[0], fmt.Sprintf("n0 got t=%d v=%d", p.Now(), v))
+		}
+	})
+	parts[1].Env().Go("burst", func(p *Proc) {
+		p.SleepUntil(Time(3 * Microsecond))
+		for k := 0; k < 5; k++ {
+			links[1][2].Send(p, 100+k)
+		}
+	})
+	render = func() string {
+		out := ""
+		for i := 0; i < n; i++ {
+			for _, line := range logs[i] {
+				out += line + "\n"
+			}
+		}
+		return out
+	}
+	return w, render
+}
+
+// TestWorldDirtyFlushMatchesFlushAll: the dirty-link barrier (flush only
+// links that buffered sends this window, in creation order) must produce
+// a schedule byte-for-byte identical to flushing every link every window,
+// on a traffic matrix where most links never carry a message.
+func TestWorldDirtyFlushMatchesFlushAll(t *testing.T) {
+	const horizon = Time(20 * Microsecond)
+	run := func(flushAll bool) string {
+		w, render := buildSparseWorld(8)
+		defer w.Close()
+		w.flushAll = flushAll
+		w.Run(horizon, 2)
+		return render()
+	}
+	dirty, all := run(false), run(true)
+	if dirty == "" {
+		t.Fatal("empty log — sparse world did not run")
+	}
+	if dirty != all {
+		t.Fatalf("dirty-link schedule differs from flush-all:\n--- dirty ---\n%s--- flush-all ---\n%s", dirty, all)
+	}
+}
+
+// TestLinkSendAt: SendAt decouples the send call from the modeled
+// departure instant — arrivals land at depart+latency in send order,
+// equal departures share one delivery instant, and the FIFO-wire
+// contract (no past or decreasing departures, source-partition calls
+// only) is enforced by panic.
+func TestLinkSendAt(t *testing.T) {
+	const lat = 100 * Nanosecond
+	w := NewWorld()
+	defer w.Close()
+	a := w.NewPartition("a")
+	b := w.NewPartition("b")
+	inbox := NewQueue[int](b.Env(), 0)
+	l := NewLink(a, b, lat, inbox)
+	type arrival struct {
+		at Time
+		v  int
+	}
+	var got []arrival
+	b.Env().Go("recv", func(p *Proc) {
+		for {
+			v := inbox.Get(p)
+			got = append(got, arrival{p.Now(), v})
+		}
+	})
+	expectPanic := func(what string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	a.Env().Go("send", func(p *Proc) {
+		// Arithmetic serialization: three messages finish the wire at
+		// 500/700/700ns while the process itself stays at t=0.
+		l.SendAt(p, Time(500*Nanosecond), 1)
+		l.SendAt(p, Time(700*Nanosecond), 2)
+		l.SendAt(p, Time(700*Nanosecond), 3) // equal departures keep send order
+		expectPanic("decreasing departure", func() { l.SendAt(p, Time(600*Nanosecond), 9) })
+		p.Sleep(Microsecond)
+		expectPanic("past departure", func() { l.SendAt(p, p.Now()-1, 9) })
+		l.Send(p, 4) // Send == SendAt(now)
+	})
+	b.Env().Go("foreign", func(p *Proc) {
+		expectPanic("send from outside the source partition", func() { l.SendAt(p, p.Now(), 9) })
+	})
+	w.Run(Time(2*Microsecond), 2)
+	want := []arrival{
+		{Time(500*Nanosecond + lat), 1},
+		{Time(700*Nanosecond + lat), 2},
+		{Time(700*Nanosecond + lat), 3},
+		{Time(Microsecond + lat), 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("arrivals %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if l.Sent != 4 || l.Dropped != 0 {
+		t.Fatalf("Sent=%d Dropped=%d, want 4/0", l.Sent, l.Dropped)
+	}
+}
+
+// TestWorldSparseIdleSkip: with events microseconds apart and lookahead
+// of 100ns, Run must skip the idle windows (start each window at the
+// next pending event) and still deliver at exact instants at any worker
+// count.
+func TestWorldSparseIdleSkip(t *testing.T) {
+	const lat = 100 * Nanosecond
+	run := func(workers int) []Time {
+		w := NewWorld()
+		defer w.Close()
+		a := w.NewPartition("a")
+		b := w.NewPartition("b")
+		inbox := NewQueue[int](b.Env(), 0)
+		l := NewLink(a, b, lat, inbox)
+		a.Env().Go("send", func(p *Proc) {
+			for k := 0; k < 5; k++ {
+				p.Sleep(Duration(1+k) * Millisecond) // huge inter-event gaps
+				l.Send(p, k)
+			}
+		})
+		var got []Time
+		b.Env().Go("recv", func(p *Proc) {
+			for {
+				inbox.Get(p)
+				got = append(got, p.Now())
+			}
+		})
+		w.Run(Time(20*Millisecond), workers)
+		return got
+	}
+	var want []Time
+	at := Time(0)
+	for k := 0; k < 5; k++ {
+		at += Time(Duration(1+k) * Millisecond)
+		want = append(want, at+Time(lat))
+	}
+	for _, workers := range []int{1, 2} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: arrivals %v, want %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: arrival %d at %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

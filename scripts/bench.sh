@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh measures the simulator's host-side performance and records
-# the trajectory in BENCH_PR9.json:
+# the trajectory in BENCH_PR10.json:
 #
 #   - BenchmarkFig5Batch:     the packet-I/O engine hot path (8 batch
 #                             points x 20 simulated ms of single-core
@@ -9,26 +9,27 @@
 #                             (1 simulated ms per op = 1e6 sim ns)
 #   - BenchmarkFabricWorkers: the conservative-parallel cluster fabric
 #                             (16 nodes, VLB, 50 simulated ms) at 1, 2
-#                             and 8 partition workers — the core-scaling
-#                             curve of the windowed world scheduler.
-#                             Results are byte-identical at every worker
-#                             count (CI enforces it), so the ns/op
-#                             spread is pure host parallelism; on a
-#                             single-core host the curve is flat, and
-#                             host_cores records how many cores the
-#                             numbers had to work with.
+#                             and 8 partition workers. Results are
+#                             byte-identical at every worker count (CI
+#                             enforces it); host_cores records how many
+#                             cores the curve had to work with.
+#   - BenchmarkLeafSpineScale: the leaf-spine fabric at 16/64/128
+#                             leaves (5 simulated ms, Zipf flows) — the
+#                             scale-frontier curve of the timer-wheel
+#                             scheduler and the dirty-link barrier.
 #   - psbench_all:            wall-clock seconds for `psbench all` at
 #                             -j 1 and -j $(nproc); byte-identical
 #   - psbench_fabric:         wall-clock seconds for the partitioned
-#                             fabric + cluster experiments at -p 1 and
-#                             -p 8; byte-identical
+#                             fabric + cluster + leafspine experiments
+#                             at -p 1 and -p 8; byte-identical
 #
 # Go benchmarks other than FabricWorkers run pinned to one worker (see
 # bench_test.go) so ns/op, B/op and allocs/op stay an apples-to-apples
 # measure of the engine hot path across PRs. The "baseline" block is
-# the PR 7 measurement (before the PR 9 per-packet hot-path work:
-# frame templates, LUT Toeplitz, fast decode, hoisted cycle
-# accounting) and is fixed; "results" is refreshed on every run.
+# the PR 9 measurement (before the PR 10 scale pass: hierarchical timer
+# wheel, dirty-link window barriers, batched link delivery, arithmetic
+# wire serialization) and is fixed; "results" is refreshed on every
+# run.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
 set -eu
@@ -36,11 +37,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
-OUT="BENCH_PR9.json"
+OUT="BENCH_PR10.json"
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 echo "== go test -bench (benchtime=$BENCHTIME)"
-RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$|BenchmarkFabricWorkers' \
+RAW=$(go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$|BenchmarkFabricWorkers|BenchmarkLeafSpineScale' \
 	-benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$RAW"
 
@@ -69,11 +70,11 @@ if ! cmp -s /tmp/psbench-j1.$$ /tmp/psbench-jN.$$; then
 fi
 echo "== psbench output byte-identical across -j 1 / -j $NPROC"
 
-echo "== psbench fabric cluster -p 1 (serial world)"
-P1=$(wall /tmp/psbench-p1.$$ fabric cluster -metrics -p 1)
+echo "== psbench fabric cluster leafspine -p 1 (serial world)"
+P1=$(wall /tmp/psbench-p1.$$ fabric cluster leafspine -metrics -p 1)
 echo "   ${P1}s"
-echo "== psbench fabric cluster -p 8 (partitioned world)"
-P8=$(wall /tmp/psbench-p8.$$ fabric cluster -metrics -p 8)
+echo "== psbench fabric cluster leafspine -p 8 (partitioned world)"
+P8=$(wall /tmp/psbench-p8.$$ fabric cluster leafspine -metrics -p 8)
 echo "   ${P8}s"
 
 if ! cmp -s /tmp/psbench-p1.$$ /tmp/psbench-p8.$$; then
@@ -96,19 +97,20 @@ END {
 	sim["BenchmarkFig5Batch"]     = 160000000  # 8 batch points x 20 ms
 	sim["BenchmarkRouterIPv4GPU"] = 1000000    # 1 ms per op
 	fabricSim = 50000000                       # 50 sim ms per fabric op
+	lsSim     = 5000000                        # 5 sim ms per leafspine op
 
-	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 60095139, \"bytes_per_op\": 586936, \"allocs_per_op\": 1113, \"sim_ns_per_wall_ns\": 2.662 }"
-	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 79463999, \"bytes_per_op\": 1415008, \"allocs_per_op\": 2162, \"sim_ns_per_wall_ns\": 0.013 }"
+	base["BenchmarkFig5Batch"]     = "{ \"ns_per_op\": 38039730, \"bytes_per_op\": 886339, \"allocs_per_op\": 1210, \"sim_ns_per_wall_ns\": 4.206 }"
+	base["BenchmarkRouterIPv4GPU"] = "{ \"ns_per_op\": 14592800, \"bytes_per_op\": 1414972, \"allocs_per_op\": 2162, \"sim_ns_per_wall_ns\": 0.069 }"
 
 	printf "{\n"
-	printf "  \"description\": \"host-side simulator performance; baseline = PR 7 (before the PR 9 per-packet hot-path optimizations)\",\n"
+	printf "  \"description\": \"host-side simulator performance; baseline = PR 9 (before the PR 10 timer-wheel + dirty-link-barrier scale pass)\",\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"host_cores\": %d,\n", nproc
 	printf "  \"baseline\": {\n"
 	printf "    \"BenchmarkFig5Batch\": %s,\n", base["BenchmarkFig5Batch"]
 	printf "    \"BenchmarkRouterIPv4GPU\": %s,\n", base["BenchmarkRouterIPv4GPU"]
-	printf "    \"fabric_workers\": { \"p1\": 366737214, \"p2\": 390572596, \"p8\": 379372911 },\n"
-	printf "    \"psbench_all\": { \"wall_seconds_j1\": 98.0, \"jobs\": 1 }\n"
+	printf "    \"fabric_workers\": { \"p1\": 297278155, \"p2\": 292934696, \"p8\": 286332978, \"sim_ns_per_wall_ns_p1\": 0.168, \"sim_ns_per_wall_ns_p8\": 0.175 },\n"
+	printf "    \"psbench_all\": { \"wall_seconds_j1\": 58.4, \"wall_seconds_jN\": 61.8, \"jobs\": 1 }\n"
 	printf "  },\n"
 	printf "  \"results\": {\n"
 	for (i = 0; i < n; i++) {
@@ -129,9 +131,18 @@ END {
 		fabricSim / ns["BenchmarkFabricWorkers/p1"], \
 		fabricSim / ns["BenchmarkFabricWorkers/p8"]
 	printf "    },\n"
-	printf "    \"psbench_all\": { \"nproc\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true },\n", \
-		nproc, j1, jn
-	printf "    \"psbench_fabric\": { \"nproc\": %d, \"wall_seconds_p1\": %s, \"wall_seconds_p8\": %s, \"byte_identical\": true }\n", \
+	printf "    \"leafspine_scale\": {\n"
+	printf "      \"_comment\": \"ns/op for the leaf-spine fabric at 16/64/128 leaves (Uplinks 2, Zipf 1.1 flows, 5 sim ms, -p 1)\",\n"
+	printf "      \"l16\": %d, \"l64\": %d, \"l128\": %d,\n", \
+		ns["BenchmarkLeafSpineScale/l16"], ns["BenchmarkLeafSpineScale/l64"], \
+		ns["BenchmarkLeafSpineScale/l128"]
+	printf "      \"sim_ns_per_op\": %d,\n", lsSim
+	printf "      \"sim_ns_per_wall_ns_l128\": %.3f\n", \
+		lsSim / ns["BenchmarkLeafSpineScale/l128"]
+	printf "    },\n"
+	printf "    \"psbench_all\": { \"nproc\": %d, \"jobs_j1\": 1, \"jobs_jN\": %d, \"wall_seconds_j1\": %s, \"wall_seconds_jN\": %s, \"byte_identical\": true },\n", \
+		nproc, nproc, j1, jn
+	printf "    \"psbench_fabric\": { \"nproc\": %d, \"experiments\": \"fabric cluster leafspine\", \"wall_seconds_p1\": %s, \"wall_seconds_p8\": %s, \"byte_identical\": true }\n", \
 		nproc, p1, p8
 	printf "  }\n"
 	printf "}\n"

@@ -38,11 +38,11 @@ echo "== parallel harness: -j 8 byte-identical to -j 1"
 go test -count=1 -run 'TestParallelOutputByteIdenticalToSerial|TestRunMultipleIDsMatchesConcatenation' ./internal/experiments
 
 echo "== partitioned world: -p 8 byte-identical to -p 1"
-go test -count=1 -run 'TestFabricByteIdenticalAcrossPartitionWorkers|TestWorldByteIdenticalAcrossWorkers' ./internal/experiments ./internal/sim
+go test -count=1 -run 'TestFabricByteIdenticalAcrossPartitionWorkers|TestLeafSpineByteIdenticalAcrossPartitionWorkers|TestWorldByteIdenticalAcrossWorkers' ./internal/experiments ./internal/sim
 PSBENCH_BIN="$(mktemp)"
 go build -o "$PSBENCH_BIN" ./cmd/psbench
-"$PSBENCH_BIN" fabric cluster -metrics -p 1 >/tmp/psbench-p1.$$ 2>/dev/null
-"$PSBENCH_BIN" fabric cluster -metrics -p 8 >/tmp/psbench-p8.$$ 2>/dev/null
+"$PSBENCH_BIN" fabric cluster leafspine -metrics -p 1 >/tmp/psbench-p1.$$ 2>/dev/null
+"$PSBENCH_BIN" fabric cluster leafspine -metrics -p 8 >/tmp/psbench-p8.$$ 2>/dev/null
 cmp /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
 rm -f "$PSBENCH_BIN" /tmp/psbench-p1.$$ /tmp/psbench-p8.$$
 
@@ -74,7 +74,7 @@ go test -race -short ./internal/experiments
 
 echo "== bench smoke (one iteration of the key benchmarks, pprof to profiles/)"
 mkdir -p profiles
-go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$' -benchtime 1x \
+go test -run '^$' -bench 'BenchmarkFig5Batch$|BenchmarkRouterIPv4GPU$|BenchmarkLeafSpineScale/l128$' -benchtime 1x \
 	-cpuprofile profiles/bench-smoke.cpu.pprof \
 	-memprofile profiles/bench-smoke.mem.pprof .
 

@@ -1,10 +1,11 @@
 #!/bin/sh
 # profile.sh is the profiling harness behind `make profile`: it runs the
-# three key benchmarks — Fig5Batch (packet-I/O engine hot path),
-# RouterIPv4GPU (full CPU+GPU router framework) and FabricWorkers/p1
-# (conservative-parallel cluster fabric) — with CPU and allocation
-# profiling enabled, and drops pprof files plus a ready-to-read top-25
-# summary under profiles/.
+# key benchmarks — Fig5Batch (packet-I/O engine hot path),
+# RouterIPv4GPU (full CPU+GPU router framework) and FabricWorkers at
+# p1 and p8 (conservative-parallel cluster fabric, serial and
+# partitioned advance) — with CPU and allocation profiling enabled,
+# and drops pprof files plus a ready-to-read top-25 summary under
+# profiles/.
 #
 # This is how the PR 9 per-packet optimizations were found (frame
 # templates, LUT Toeplitz, fast decode, hoisted cycle accounting): look
@@ -39,6 +40,7 @@ profile_one() { # profile_one <label> <bench regex>
 profile_one fig5batch 'BenchmarkFig5Batch$'
 profile_one router-ipv4-gpu 'BenchmarkRouterIPv4GPU$'
 profile_one fabric 'BenchmarkFabricWorkers/p1$'
+profile_one fabric-p8 'BenchmarkFabricWorkers/p8$'
 
 echo "== profiles written to $OUTDIR/"
 ls -l "$OUTDIR"
